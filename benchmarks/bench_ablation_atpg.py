@@ -1,0 +1,59 @@
+"""Ablation: ES-ATPG decision strategies.
+
+The threshold ES query has three sound paths -- structural refutation,
+exact support exhaustion, branch-&-bound -- and the library picks the
+cheapest (``EsAtpg.decide``).  This bench times each path on
+representative queries of a 10-bit adder and reports the node counts
+of the branch-&-bound fallback.
+"""
+
+import pytest
+
+from repro.atpg import EsAtpg, EsStatus
+from repro.faults import StuckAtFault
+
+from repro.benchlib import build_adder_circuit
+
+_CIRCUIT = build_adder_circuit(10)
+# an internal carry gate: multi-output support, interesting queries
+_CARRY = [n for n in _CIRCUIT.gates if _CIRCUIT.gates[n].gtype.name == "OR"][5]
+_FAULT = StuckAtFault.stem(_CARRY, 1)
+
+
+def test_structural_refutation(benchmark, bench_rows):
+    atpg = EsAtpg(_CIRCUIT, faults=[_FAULT])
+    threshold = atpg.max_weight_sum + 1  # beyond the reachable weight
+
+    res = benchmark(lambda: atpg.decide(threshold))
+    assert res.status is EsStatus.UNSAT and res.nodes == 0
+    bench_rows.append("ABLATION atpg path=structural: instant UNSAT")
+
+
+def test_exact_exhaustive_path(benchmark, bench_rows):
+    atpg = EsAtpg(_CIRCUIT, faults=[_FAULT])
+    assert len(atpg.support) <= 22
+
+    res = benchmark(lambda: atpg.decide(atpg.max_weight_sum))
+    assert res.status in (EsStatus.SAT, EsStatus.UNSAT)
+    bench_rows.append(
+        f"ABLATION atpg path=exhaustive: support={len(atpg.support)} "
+        f"verdict={res.status.value} exact_dev={res.deviation}"
+    )
+
+
+@pytest.mark.parametrize("node_limit", [500, 5_000])
+def test_branch_and_bound_path(benchmark, node_limit, bench_rows):
+    atpg = EsAtpg(_CIRCUIT, faults=[_FAULT], node_limit=node_limit)
+    exact = atpg.exact_max_deviation()
+    threshold = exact + 1  # forces a full UNSAT proof
+
+    res = benchmark.pedantic(
+        lambda: atpg.test_exists(threshold), rounds=1, iterations=1
+    )
+    bench_rows.append(
+        f"ABLATION atpg path=b&b limit={node_limit}: status={res.status.value} "
+        f"nodes={res.nodes}"
+    )
+    benchmark.extra_info.update({"node_limit": node_limit, "nodes": res.nodes})
+    if res.status is EsStatus.UNSAT:
+        assert res.nodes <= node_limit + 1

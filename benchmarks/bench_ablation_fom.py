@@ -1,0 +1,50 @@
+"""Ablation: the two figures of merit and the power-of-two ES mode.
+
+The paper uses FOM = (area reduction / RS) or (area reduction) and
+reports the better of the two; its ES estimates resolve only to powers
+of two.  This bench quantifies both choices on the c880-like circuit at
+a 5 % RS budget:
+
+* ``area_per_rs`` vs ``area`` -- which FOM wins here;
+* ``pow2_es`` on/off -- how much area the paper's conservative ES
+  rounding costs.
+"""
+
+import pytest
+
+from repro.benchlib import ISCAS85_SUITE
+from repro.simplify import GreedyConfig, circuit_simplify
+
+from conftest import table2_config
+
+_CIRCUIT = ISCAS85_SUITE["c880"].builder()
+_PCT = 5.0
+
+
+def _run(**overrides):
+    base = table2_config().__dict__ | overrides
+    return circuit_simplify(
+        _CIRCUIT, rs_pct_threshold=_PCT, config=GreedyConfig(**base)
+    )
+
+
+@pytest.mark.parametrize("fom", ["area_per_rs", "area"])
+def test_fom_variant(benchmark, fom, bench_rows):
+    result = benchmark.pedantic(lambda: _run(fom=fom), rounds=1, iterations=1)
+    bench_rows.append(
+        f"ABLATION fom={fom:<12} c880 @5%RS: {result.area_reduction_pct:6.2f}% "
+        f"({len(result.faults)} faults)"
+    )
+    benchmark.extra_info.update({"fom": fom, "pct": result.area_reduction_pct})
+    assert result.area_reduction > 0
+
+
+@pytest.mark.parametrize("pow2", [False, True])
+def test_pow2_es_conservatism(benchmark, pow2, bench_rows):
+    result = benchmark.pedantic(lambda: _run(pow2_es=pow2), rounds=1, iterations=1)
+    bench_rows.append(
+        f"ABLATION pow2_es={str(pow2):<5} c880 @5%RS: "
+        f"{result.area_reduction_pct:6.2f}% ({len(result.faults)} faults)"
+    )
+    benchmark.extra_info.update({"pow2_es": pow2, "pct": result.area_reduction_pct})
+    assert result.area_reduction >= 0

@@ -1,0 +1,45 @@
+"""Ablation: ER-estimation accuracy vs. simulation batch size.
+
+The paper simulates 10,000 random vectors and cites [15] for the
+accuracy/batch-size relationship.  This bench measures the ER estimate
+of a multi-fault set on a 10-bit adder (exhaustively computable ground
+truth) across batch sizes, and times the bit-parallel simulator at
+each size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import StuckAtFault
+from repro.metrics import MetricsEstimator
+from repro.simulation import FaultSimulator
+
+from repro.benchlib import build_adder_circuit
+
+_CIRCUIT = build_adder_circuit(10)
+_FAULTS = [
+    StuckAtFault.stem(_CIRCUIT.outputs[1], 0),
+    StuckAtFault.stem(_CIRCUIT.outputs[3], 1),
+]
+_TRUTH = FaultSimulator(_CIRCUIT).estimate(_FAULTS, exhaustive=True).error_rate
+
+
+@pytest.mark.parametrize("num_vectors", [100, 1_000, 10_000, 100_000])
+def test_er_estimate_convergence(benchmark, num_vectors, bench_rows):
+    fsim = FaultSimulator(_CIRCUIT)
+
+    def run():
+        return fsim.estimate(
+            _FAULTS, num_vectors=num_vectors, rng=np.random.default_rng(17)
+        ).error_rate
+
+    er = benchmark(run)
+    err = abs(er - _TRUTH)
+    bench_rows.append(
+        f"ABLATION vectors={num_vectors:<7} ER={er:.4f} "
+        f"(exact {_TRUTH:.4f}, |err|={err:.4f})"
+    )
+    benchmark.extra_info.update({"num_vectors": num_vectors, "abs_error": err})
+    # statistical tolerance ~ 4 sigma of a Bernoulli estimate
+    sigma = (_TRUTH * (1 - _TRUTH) / num_vectors) ** 0.5
+    assert err <= 5 * sigma + 1e-9

@@ -1,0 +1,52 @@
+"""Ablation: exact BDD error rates vs. sampled estimates.
+
+The paper estimates ER from 10,000 random vectors because exhaustive
+simulation is impossible; the ROBDD engine makes the exact value
+reachable by model counting whenever the BDD stays small.  This bench
+quantifies both sides on the c880-like benchmark: sampling error of
+the estimator at several batch sizes against the BDD ground truth, and
+the cost of the exact computation itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bdd import exact_error_rate
+from repro.benchlib import ISCAS85_SUITE
+from repro.faults import StuckAtFault, enumerate_faults
+from repro.metrics import MetricsEstimator
+
+_CIRCUIT = ISCAS85_SUITE["c880"].builder()
+_FAULTS = [f for f in enumerate_faults(_CIRCUIT) if f.line.is_stem][150:153]
+
+
+def test_exact_er_feasible(benchmark, bench_rows):
+    er = benchmark.pedantic(
+        lambda: exact_error_rate(_CIRCUIT, faults=_FAULTS), rounds=1, iterations=1
+    )
+    bench_rows.append(
+        f"BDD exact ER on c880-like ({_CIRCUIT.num_gates} gates, "
+        f"{len(_CIRCUIT.inputs)} inputs): {er:.6f}"
+    )
+    assert 0.0 <= er <= 1.0
+    benchmark.extra_info["exact_er"] = er
+
+
+@pytest.mark.parametrize("num_vectors", [500, 5_000, 50_000])
+def test_sampled_er_vs_exact(benchmark, num_vectors, bench_rows):
+    exact = exact_error_rate(_CIRCUIT, faults=_FAULTS)
+
+    def run():
+        est = MetricsEstimator(_CIRCUIT, num_vectors=num_vectors, seed=11)
+        er, _ = est.simulate(faults=_FAULTS)
+        return er
+
+    sampled = benchmark.pedantic(run, rounds=1, iterations=1)
+    err = abs(sampled - exact)
+    bench_rows.append(
+        f"BDD vs sampling n={num_vectors:<6}: sampled {sampled:.6f} "
+        f"exact {exact:.6f} |err|={err:.6f}"
+    )
+    sigma = max((exact * (1 - exact) / num_vectors) ** 0.5, 1e-9)
+    assert err <= 6 * sigma + 1e-6
+    benchmark.extra_info.update({"num_vectors": num_vectors, "abs_error": err})

@@ -1,0 +1,47 @@
+"""Effective yield vs. RS budget (the paper's Section I motivation).
+
+Not a numbered table in the paper, but the quantity its introduction
+is built on: the fraction of defective chips rescued when acceptance
+testing admits errors within the RS threshold.  The bench sweeps the
+budget over a fixed Poisson-defect population and checks the expected
+monotonicity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import build_adder_circuit
+from repro.metrics import MetricsEstimator, rs_max
+from repro.yieldsim import classify_population, sample_population
+
+_CIRCUIT = build_adder_circuit(10, "ripple")
+_CHIPS = sample_population(
+    _CIRCUIT, 300, defect_density=0.8, rng=np.random.default_rng(2011)
+)
+_EST = MetricsEstimator(_CIRCUIT, num_vectors=3000, seed=7)
+
+
+@pytest.mark.parametrize("pct", [0.1, 1.0, 5.0])
+def test_effective_yield_sweep(benchmark, pct, bench_rows):
+    threshold = pct / 100.0 * rs_max(_CIRCUIT)
+
+    report = benchmark.pedantic(
+        lambda: classify_population(_CIRCUIT, _CHIPS, threshold, estimator=_EST),
+        rounds=1,
+        iterations=1,
+    )
+    bench_rows.append(
+        f"YIELD rs_budget={pct:g}%: classical {100 * report.classical_yield:.1f}% "
+        f"-> effective {100 * report.effective_yield:.1f}% "
+        f"({report.acceptable} rescued of {report.num_chips})"
+    )
+    benchmark.extra_info.update(
+        {
+            "rs_pct": pct,
+            "classical": report.classical_yield,
+            "effective": report.effective_yield,
+        }
+    )
+    assert report.effective_yield >= report.classical_yield
+    if pct >= 1.0:
+        assert report.acceptable > 0

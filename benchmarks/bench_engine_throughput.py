@@ -1,0 +1,69 @@
+"""Microbenchmarks of the core engines.
+
+Not a paper table -- these quantify the substrates everything else sits
+on: bit-parallel simulation throughput, the overlay engine's preview
+and materialization costs, and PODEM's per-fault rate.  Useful for
+spotting performance regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Podem
+from repro.benchlib import ISCAS85_SUITE
+from repro.faults import enumerate_faults
+from repro.simplify import Overlay, preview_area_reduction, simplify_with_fault
+from repro.simulation import LogicSimulator, random_vectors
+
+_CIRCUIT = ISCAS85_SUITE["c880"].builder()
+_FAULTS = enumerate_faults(_CIRCUIT)
+_VECS = random_vectors(len(_CIRCUIT.inputs), 10_000, np.random.default_rng(0))
+_SIM = LogicSimulator(_CIRCUIT)
+
+
+def test_logic_simulation_10k_vectors(benchmark, bench_rows):
+    res = benchmark(lambda: _SIM.run(_VECS))
+    rate = 10_000 * _CIRCUIT.num_gates
+    bench_rows.append(
+        f"MICRO logicsim: 10k vectors x {_CIRCUIT.num_gates} gates per call "
+        f"({rate / 1e6:.1f}M gate-evals)"
+    )
+    assert res.num_vectors == 10_000
+
+
+def test_fault_injected_simulation(benchmark):
+    fault = _FAULTS[37]
+    res = benchmark(lambda: _SIM.run(_VECS, [fault]))
+    assert res.num_vectors == 10_000
+
+
+def test_preview_area_reduction(benchmark, bench_rows):
+    faults = _FAULTS[:64]
+
+    def run():
+        return [preview_area_reduction(_CIRCUIT, f) for f in faults]
+
+    deltas = benchmark(run)
+    bench_rows.append(
+        f"MICRO preview: 64 overlay previews per call "
+        f"(mean delta {sum(deltas) / len(deltas):.1f})"
+    )
+    assert len(deltas) == 64
+
+
+def test_materialize_simplified_circuit(benchmark):
+    fault = _FAULTS[11]
+    simplified = benchmark(lambda: simplify_with_fault(_CIRCUIT, fault))
+    assert simplified.area() <= _CIRCUIT.area()
+
+
+def test_podem_fault_batch(benchmark, bench_rows):
+    podem = Podem(_CIRCUIT)
+    batch = _FAULTS[:24]
+
+    def run():
+        return [podem.run(f).status.value for f in batch]
+
+    statuses = benchmark.pedantic(run, rounds=1, iterations=3)
+    bench_rows.append(f"MICRO podem: 24 faults/call on c880-like ({_CIRCUIT.num_gates} gates)")
+    assert len(statuses) == 24

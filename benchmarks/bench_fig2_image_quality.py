@@ -1,0 +1,41 @@
+"""Figure 2: JPEG image quality for three DCT adder-grid configurations.
+
+Regenerates the paper's three cases -- (a) a perfect DCT, (b) 60 faulty
+cells at a modest grading (acceptable: PSNR above 30 dB), (c) the same
+cells graded aggressively (unacceptable) -- and prints PSNR and RS(Sum)
+for each.
+"""
+
+import pytest
+
+from repro.dct import figure2_configurations, test_image as make_test_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return make_test_image(256)
+
+
+def test_fig2_configurations(benchmark, image, bench_rows):
+    cases = benchmark.pedantic(
+        lambda: figure2_configurations(image), rounds=1, iterations=1
+    )
+    assert len(cases) == 3
+    (_, pa), (_, pb), (_, pc) = cases
+    for point in (pa, pb, pc):
+        bench_rows.append(
+            f"FIG 2 {point.label:<32} PSNR={point.psnr_db:6.2f} dB  "
+            f"RS(Sum)={point.rs_sum:10.4g}  "
+            f"{'acceptable' if point.acceptable else 'NOT acceptable'}"
+        )
+    # the paper's qualitative result: (a) pristine, (b) acceptable,
+    # (c) beyond the threshold
+    assert pa.psnr_db > pb.psnr_db > pc.psnr_db
+    assert pa.acceptable and pb.acceptable and not pc.acceptable
+    benchmark.extra_info.update(
+        {
+            "psnr_perfect": pa.psnr_db,
+            "psnr_modest": pb.psnr_db,
+            "psnr_aggressive": pc.psnr_db,
+        }
+    )

@@ -1,0 +1,45 @@
+"""Figure 3: PSNR vs. RS(Sum) over 11 faulty DCT configurations.
+
+Regenerates the paper's sweep and checks its two claims: the clear
+inverse relationship between the metrics, and a 30 dB acceptability
+crossing at RS(Sum) of order 1e4-1e5 (the paper reports ~1e5; the
+absolute position depends on the fixed-point geometry, see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.dct import ACCEPTABLE_PSNR, psnr_vs_rs_curve, test_image as make_test_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return make_test_image(256)
+
+
+def test_fig3_curve(benchmark, image, bench_rows):
+    points = benchmark.pedantic(
+        lambda: psnr_vs_rs_curve(image, num_points=11), rounds=1, iterations=1
+    )
+    assert len(points) == 11
+    for p in points:
+        bench_rows.append(
+            f"FIG 3 {p.label:<10} RS(Sum)={p.rs_sum:12.4g}  PSNR={p.psnr_db:6.2f} dB"
+        )
+    rs = [p.rs_sum for p in points]
+    ps = [p.psnr_db for p in points]
+    # inverse relationship: RS strictly grows, PSNR (weakly) falls
+    assert all(a < b for a, b in zip(rs, rs[1:]))
+    assert all(a >= b - 0.5 for a, b in zip(ps, ps[1:]))
+    # locate the 30 dB crossing
+    crossing = None
+    for a, b in zip(points, points[1:]):
+        if a.psnr_db >= ACCEPTABLE_PSNR > b.psnr_db:
+            crossing = (a.rs_sum * b.rs_sum) ** 0.5
+            break
+    assert crossing is not None
+    bench_rows.append(
+        f"FIG 3 30dB crossing at RS(Sum) ~ {crossing:.3g} (paper ~1e5)"
+    )
+    assert 1e3 <= crossing <= 1e6
+    benchmark.extra_info["crossing_rs_sum"] = crossing

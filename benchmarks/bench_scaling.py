@@ -1,0 +1,34 @@
+"""Scaling: greedy-heuristic runtime vs. circuit size.
+
+Section IV argues O(kp) complexity (k selected faults, p candidate
+faults).  This bench runs the same 5 % RS budget on adders of growing
+width and reports runtime alongside k and p, making the near-linear
+growth visible.
+"""
+
+import pytest
+
+from repro.faults import enumerate_faults
+from repro.simplify import GreedyConfig, circuit_simplify
+
+from repro.benchlib import build_adder_circuit
+
+
+@pytest.mark.parametrize("bits", [4, 8, 16, 24])
+def test_greedy_scaling(benchmark, bits, bench_rows):
+    circuit = build_adder_circuit(bits)
+    p = len(enumerate_faults(circuit))
+    config = GreedyConfig(
+        num_vectors=2_000, seed=0, candidate_limit=60, atpg_node_limit=400
+    )
+
+    def run():
+        return circuit_simplify(circuit, rs_pct_threshold=5.0, config=config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_rows.append(
+        f"SCALING adder{bits:<3} p={p:<5} k={len(result.faults):<3} "
+        f"cut={result.area_reduction_pct:5.1f}%"
+    )
+    benchmark.extra_info.update({"bits": bits, "p": p, "k": len(result.faults)})
+    assert result.area_reduction > 0

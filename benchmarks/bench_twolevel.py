@@ -1,0 +1,44 @@
+"""Ablation: two-level approximate synthesis (the ref [8] flow).
+
+Sweeps the flip budget of the approximate Quine-McCluskey flow on two
+canonical functions (parity: exact-expensive; majority: moderately
+reducible) and reports literal counts -- showing the error-vs-area
+trade the multi-level method generalizes.
+"""
+
+import pytest
+
+from repro.twolevel import approx_minimize, minimize
+
+
+def parity_on(n):
+    return {m for m in range(1 << n) if bin(m).count("1") % 2}
+
+
+def majority_on(n):
+    return {m for m in range(1 << n) if bin(m).count("1") > n // 2}
+
+
+_CASES = [
+    ("parity4", 4, parity_on(4)),
+    ("majority5", 5, majority_on(5)),
+]
+
+
+@pytest.mark.parametrize("label,n,on", _CASES, ids=[c[0] for c in _CASES])
+@pytest.mark.parametrize("budget", [0, 2, 4])
+def test_twolevel_budget_sweep(benchmark, label, n, on, budget, bench_rows):
+    res = benchmark.pedantic(
+        lambda: approx_minimize(n, on, max_errors=budget), rounds=1, iterations=1
+    )
+    bench_rows.append(
+        f"TWOLEVEL {label:<10} flips<={budget}: "
+        f"{res.cover.num_literals:3d} literals "
+        f"(exact {res.exact_cover.num_literals}, "
+        f"{res.num_errors} errors, ER={res.error_rate:.3f})"
+    )
+    benchmark.extra_info.update(
+        {"function": label, "budget": budget, "literals": res.cover.num_literals}
+    )
+    assert res.num_errors <= budget
+    assert res.cover.num_literals <= res.exact_cover.num_literals

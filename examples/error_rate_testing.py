@@ -1,0 +1,69 @@
+"""Error-rate testing: smaller test sets by skipping tolerable faults.
+
+Rebuilds the flow of the paper's ref [5] (ERTG) on top of this
+library: generate a compact test set that detects only the faults
+whose error rate exceeds the application threshold, then compare it
+against full stuck-at testing on a manufactured chip population --
+error-rate testing needs fewer vectors *and* ships the acceptable
+chips that classical testing would scrap.
+
+Run:  python examples/error_rate_testing.py
+"""
+
+import numpy as np
+
+from repro.atpg import generate_er_tests
+from repro.benchlib import build_adder_circuit
+from repro.simulation import LogicSimulator
+from repro.yieldsim import sample_population
+
+
+def detected_by(circuit, vectors, faults) -> bool:
+    """True when the vector set exposes the fault set."""
+    if vectors.shape[0] == 0:
+        return False
+    sim = LogicSimulator(circuit)
+    good = sim.run(vectors).output_bits()
+    bad = sim.run(vectors, list(faults)).output_bits()
+    return bool((good != bad).any())
+
+
+def main() -> None:
+    circuit = build_adder_circuit(8, "ripple")
+    print(f"design: {circuit.name}, area {circuit.area()}\n")
+
+    full = generate_er_tests(circuit, er_threshold=0.0, num_candidates=2048, seed=1)
+    tolerant = generate_er_tests(circuit, er_threshold=0.3, num_candidates=2048, seed=1)
+    print(f"full stuck-at test set:      {full.num_tests} vectors "
+          f"({len(full.targets)} target faults)")
+    print(f"ER>0.3 test set:             {tolerant.num_tests} vectors "
+          f"({len(tolerant.targets)} target faults, "
+          f"{tolerant.skipped_faults} tolerable faults skipped)\n")
+
+    chips = sample_population(
+        circuit, 300, defect_density=0.8, rng=np.random.default_rng(5)
+    )
+    rows = {"full": [0, 0], "tolerant": [0, 0]}  # [shipped, scrapped]
+    rescued = 0
+    for chip in chips:
+        if chip.is_perfect:
+            rows["full"][0] += 1
+            rows["tolerant"][0] += 1
+            continue
+        fail_full = detected_by(circuit, full.vectors, chip.faults)
+        fail_tol = detected_by(circuit, tolerant.vectors, chip.faults)
+        rows["full"][1 if fail_full else 0] += 1
+        rows["tolerant"][1 if fail_tol else 0] += 1
+        if fail_full and not fail_tol:
+            rescued += 1
+
+    n = len(chips)
+    print(f"{'test flow':>12} {'shipped':>9} {'scrapped':>9} {'yield':>8}")
+    for name, (ship, scrap) in rows.items():
+        print(f"{name:>12} {ship:>9} {scrap:>9} {100 * ship / n:>7.1f}%")
+    print(f"\n{rescued} chips scrapped by full testing ship under "
+          f"error-rate testing (their faults stay below the ER threshold).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""One row of the paper's Table II on an ISCAS85-like benchmark.
+
+Runs the greedy simplification (with the classical redundancy-removal
+prepass) on the c880-equivalent circuit across the paper's %RS sweep
+and prints our area reductions next to the published ones.
+
+Pass a different circuit name (c880 / c1908 / c3540 / c5315 / c7552)
+as the first argument; the default keeps the runtime short.
+
+Run:  python examples/iscas85_table2.py [circuit]
+"""
+
+import sys
+import time
+
+from repro.benchlib import ISCAS85_SUITE
+from repro.faults import datapath_faults, enumerate_faults
+from repro.simplify import GreedyConfig, circuit_simplify
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "c880"
+    profile = ISCAS85_SUITE[key]
+    circuit = profile.builder()
+    nf = len(enumerate_faults(circuit))
+    nd = len(datapath_faults(circuit))
+    print(f"{key}-like: area {circuit.area()} (paper {profile.paper_area}), "
+          f"datapath faults {100 * nd / nf:.1f}% "
+          f"(paper {profile.paper_datafault_pct}%)\n")
+    print(f"{'%RS':>10} {'ours %cut':>10} {'paper %cut':>11} "
+          f"{'faults':>7} {'time':>7}")
+    config = GreedyConfig(
+        num_vectors=2000,
+        seed=0,
+        candidate_limit=80,
+        max_iterations=80,
+        redundancy_prepass=True,
+        atpg_node_limit=400,
+    )
+    for pct, paper in zip(profile.rs_pct_sweep, profile.paper_area_reduction_pct):
+        t0 = time.time()
+        res = circuit_simplify(circuit, rs_pct_threshold=pct, config=config)
+        print(f"{pct:>10g} {res.area_reduction_pct:>10.2f} {paper:>11.2f} "
+              f"{len(res.faults):>7} {time.time() - t0:>6.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Two-level (DATE 2010) vs. multi-level (DATE 2011) approximation.
+
+The paper's stated novelty over the authors' own prior work is that it
+handles *generic multi-level circuits* instead of two-level covers.
+This example puts the two side by side on the same function: a 4-bit
+majority-weighted indicator implemented (a) as an exact SOP minimized
+with Quine-McCluskey and approximated by budgeted output flips
+(ref [8]'s approach), and (b) as a multi-level netlist simplified by
+the ATPG-driven fault-injection method (this paper).
+
+Run:  python examples/twolevel_vs_multilevel.py
+"""
+
+from repro import GreedyConfig, circuit_simplify
+from repro.metrics import MetricsEstimator
+from repro.twolevel import approx_minimize, minimize, sop_to_circuit, truth_table_of
+
+
+def target_function(n: int = 5):
+    """ON-set of 'at least 3 of the n inputs are 1' (majority-ish)."""
+    return {m for m in range(1 << n) if bin(m).count("1") >= 3}
+
+
+def main() -> None:
+    n = 5
+    on = target_function(n)
+    budget_flips = 3  # out of 2**5 = 32 combinations -> ER budget ~9.4%
+
+    print("function: |x| >= 3 over 5 inputs "
+          f"({len(on)} ON-minterms of {1 << n})\n")
+
+    # --- two-level flow (ref [8]) ---
+    exact = minimize(n, on)
+    approx = approx_minimize(n, on, max_errors=budget_flips)
+    print("two-level (DATE 2010 style):")
+    print(f"  exact SOP:  {exact.num_terms} terms, {exact.num_literals} literals")
+    print(f"  approx SOP: {approx.cover.num_terms} terms, "
+          f"{approx.cover.num_literals} literals "
+          f"({approx.literal_reduction_pct:.0f}% fewer literals, "
+          f"{approx.num_errors} flips, ER={approx.error_rate:.3f})")
+
+    # --- multi-level flow (this paper) ---
+    exact_ckt = sop_to_circuit(exact, name="majority")
+    estimator_budget = approx.error_rate * 1.0  # same ER budget, ES weight 1
+    result = circuit_simplify(
+        exact_ckt,
+        rs_threshold=estimator_budget,
+        config=GreedyConfig(num_vectors=2000, seed=0, exhaustive=True),
+    )
+    est = MetricsEstimator(exact_ckt, exhaustive=True)
+    er, observed = est.simulate(approx=result.simplified)
+    print("\nmulti-level (this paper):")
+    print(f"  exact netlist:  area {exact_ckt.area()}")
+    print(f"  simplified:     area {result.simplified.area()} "
+          f"({result.area_reduction_pct:.0f}% smaller, "
+          f"{len(result.faults)} faults, measured ER={er:.3f})")
+
+    print("\nthe multi-level method works directly on any netlist -- the "
+          "same engine just simplified an AND-OR structure it has never "
+          "seen before, under the same error budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro -- ATPG-driven circuit simplification for error tolerant applications.
+
+Reproduction of D. Shin and S. K. Gupta, "A new circuit simplification
+method for error tolerant applications", DATE 2011.
+
+The public API is re-exported here; see README.md for a quickstart and
+DESIGN.md for the system inventory.
+"""
+
+from .circuit import (
+    Bus,
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    Gate,
+    GateType,
+    dump_bench,
+    dumps_bench,
+    load_bench,
+    loads_bench,
+)
+from .faults import Line, StuckAtFault, datapath_faults, enumerate_faults
+from .simulation import FaultSimulator, LogicSimulator
+from .metrics import ErrorMetrics, MetricsEstimator, rs_max
+from .simplify import (
+    GreedyConfig,
+    GreedyResult,
+    circuit_simplify,
+    remove_redundancies,
+    simplify_with_fault,
+    simplify_with_faults,
+)
+from .core import format_report, simplify_for_error_tolerance, verify_simplification
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "Bus",
+    "Gate",
+    "GateType",
+    "Line",
+    "StuckAtFault",
+    "enumerate_faults",
+    "datapath_faults",
+    "LogicSimulator",
+    "FaultSimulator",
+    "load_bench",
+    "loads_bench",
+    "dump_bench",
+    "dumps_bench",
+    "ErrorMetrics",
+    "MetricsEstimator",
+    "rs_max",
+    "GreedyConfig",
+    "GreedyResult",
+    "circuit_simplify",
+    "remove_redundancies",
+    "simplify_with_fault",
+    "simplify_with_faults",
+    "simplify_for_error_tolerance",
+    "verify_simplification",
+    "format_report",
+    "__version__",
+]

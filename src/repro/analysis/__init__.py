@@ -1,0 +1,7 @@
+"""Static and statistical circuit analyses: SCOAP testability,
+switching-activity (power proxy)."""
+
+from .scoap import ScoapMeasures, compute_scoap
+from .power import PowerEstimate, estimate_switching
+
+__all__ = ["ScoapMeasures", "compute_scoap", "PowerEstimate", "estimate_switching"]

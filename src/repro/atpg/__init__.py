@@ -1,0 +1,21 @@
+"""Automatic test pattern generation: PODEM, ES-threshold ATPG, redundancy."""
+
+from .podem import AtpgResult, AtpgStatus, Podem
+from .es_atpg import EsAtpg, EsResult, EsStatus
+from .redundancy import RedundancyReport, find_redundant_faults, is_redundant
+from .er_testing import ErTestSet, estimate_fault_er, generate_er_tests
+
+__all__ = [
+    "Podem",
+    "AtpgResult",
+    "AtpgStatus",
+    "EsAtpg",
+    "EsResult",
+    "EsStatus",
+    "RedundancyReport",
+    "find_redundant_faults",
+    "is_redundant",
+    "ErTestSet",
+    "estimate_fault_er",
+    "generate_er_tests",
+]

@@ -1,0 +1,345 @@
+"""PODEM test-pattern generation for single stuck-at faults.
+
+A faithful implementation of Goel's PODEM on the five-valued D-calculus
+(:mod:`repro.simulation.fivevalue`): decisions are made only on primary
+inputs, each decision is followed by a full five-valued implication
+pass, the *D-frontier* guides propagation objectives, backtrace maps an
+objective to the next PI assignment, and an X-path check prunes dead
+branches.  The algorithm is complete: with an unbounded backtrack
+budget a fault is reported ``REDUNDANT`` iff no test exists, which is
+exactly the property classical redundancy removal -- and the paper's
+generalization of it -- relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit, GateType
+from ..circuit.gates import controlling_value, inversion
+from ..faults.model import StuckAtFault
+from ..simulation import fivevalue as fv
+
+__all__ = ["AtpgStatus", "AtpgResult", "Podem"]
+
+
+class AtpgStatus(enum.Enum):
+    """Outcome of one ATPG run."""
+
+    TESTABLE = "testable"
+    REDUNDANT = "redundant"
+    ABORTED = "aborted"
+
+
+@dataclass
+class AtpgResult:
+    """Outcome record: status, generated vector and search effort.
+
+    ``vector`` maps every primary input to 0/1 (don't-cares filled with
+    0) when the fault is testable, else ``None``.
+    """
+
+    status: AtpgStatus
+    vector: Optional[Dict[str, int]]
+    backtracks: int
+    decisions: int
+
+    @property
+    def is_testable(self) -> bool:
+        return self.status is AtpgStatus.TESTABLE
+
+    @property
+    def is_redundant(self) -> bool:
+        return self.status is AtpgStatus.REDUNDANT
+
+
+class Podem:
+    """PODEM ATPG engine bound to one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Combinational circuit under test.
+    backtrack_limit:
+        Abort threshold on the number of backtracks per fault.
+    guidance:
+        Backtrace cost heuristic: ``"level"`` uses logic depth (the
+        classic default), ``"scoap"`` uses SCOAP controllability --
+        hard-to-control inputs are driven first, which tends to fail
+        fast and cut backtracks on control-heavy circuits.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 20_000,
+        guidance: str = "level",
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self._order = circuit.topological_order()
+        self._levels = circuit.levels()
+        self._fanout = circuit.fanout_map()
+        if guidance == "scoap":
+            from ..analysis.scoap import compute_scoap
+
+            m = compute_scoap(circuit)
+            self._cost0 = m.cc0
+            self._cost1 = m.cc1
+        elif guidance == "level":
+            lv = self._levels
+            self._cost0 = {s: lv.get(s, 0) for s in circuit.signals()}
+            self._cost1 = self._cost0
+        else:
+            raise ValueError(f"unknown guidance {guidance!r}")
+        # distance-to-PO used to rank D-frontier gates (propagate via
+        # the shortest remaining path first)
+        self._po_dist: Dict[str, int] = {}
+        po_set = set(circuit.outputs)
+        unreachable = 10**9
+        for name in reversed(self._order):
+            if name in po_set:
+                self._po_dist[name] = 0
+            else:
+                self._po_dist[name] = min(
+                    (self._po_dist.get(g, unreachable) + 1 for g, _ in self._fanout.get(name, ())),
+                    default=unreachable,
+                )
+        for pi in circuit.inputs:
+            if pi in po_set:
+                self._po_dist[pi] = 0
+            else:
+                self._po_dist[pi] = min(
+                    (self._po_dist.get(g, unreachable) + 1 for g, _ in self._fanout.get(pi, ())),
+                    default=unreachable,
+                )
+
+    # ------------------------------------------------------------------
+    def run(self, fault: StuckAtFault) -> AtpgResult:
+        """Generate a test for ``fault`` or prove it redundant."""
+        if not self.circuit.has_signal(fault.line.signal):
+            raise ValueError(f"fault site {fault.line} not in circuit {self.circuit.name!r}")
+        assign: Dict[str, int] = {}
+        # decision stack: (pi, value, already_flipped)
+        stack: List[Tuple[str, int, bool]] = []
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            values = self._simulate(assign, fault)
+            if self._test_found(values):
+                vec = {pi: assign.get(pi, 0) for pi in self.circuit.inputs}
+                return AtpgResult(AtpgStatus.TESTABLE, vec, backtracks, decisions)
+
+            objective = self._objective(values, fault)
+            target = None
+            if objective is not None:
+                target = self._backtrace(objective, values)
+            if target is None:
+                # dead branch: undo the most recent unflipped decision
+                flipped = False
+                while stack:
+                    pi, val, was_flipped = stack.pop()
+                    del assign[pi]
+                    if not was_flipped:
+                        backtracks += 1
+                        if backtracks > self.backtrack_limit:
+                            return AtpgResult(AtpgStatus.ABORTED, None, backtracks, decisions)
+                        assign[pi] = val ^ 1
+                        stack.append((pi, val ^ 1, True))
+                        flipped = True
+                        break
+                if not flipped:
+                    return AtpgResult(AtpgStatus.REDUNDANT, None, backtracks, decisions)
+                continue
+
+            pi, val = target
+            assign[pi] = val
+            stack.append((pi, val, False))
+            decisions += 1
+
+    # ------------------------------------------------------------------
+    # five-valued implication
+    # ------------------------------------------------------------------
+    def _simulate(self, assign: Dict[str, int], fault: StuckAtFault) -> Dict[str, int]:
+        """Full five-valued simulation under partial PI assignment.
+
+        The single fault is injected at its stem or branch site; all
+        other signals follow the composite D-calculus tables.
+        """
+        values: Dict[str, int] = {}
+        stem_site = fault.line.signal if fault.line.is_stem else None
+        for pi in self.circuit.inputs:
+            v = assign.get(pi)
+            val = fv.X if v is None else (fv.ONE if v else fv.ZERO)
+            if pi == stem_site:
+                val = _faulty_site_value(val, fault.value)
+            values[pi] = val
+        branch_key = None
+        if fault.line.is_branch:
+            branch_key = (fault.line.gate, fault.line.pin)
+        for name in self._order:
+            g = self.circuit.gates[name]
+            ins: List[int] = []
+            for pin, src in enumerate(g.inputs):
+                v = values[src]
+                if branch_key == (name, pin):
+                    v = _faulty_site_value(v, fault.value)
+                ins.append(v)
+            out = fv.v_gate(g.gtype, ins) if (ins or g.gtype in (GateType.CONST0, GateType.CONST1)) else fv.X
+            if name == stem_site:
+                out = _faulty_site_value(out, fault.value)
+            values[name] = out
+        return values
+
+    def _test_found(self, values: Dict[str, int]) -> bool:
+        return any(fv.is_faulty_value(values[o]) for o in self.circuit.outputs)
+
+    # ------------------------------------------------------------------
+    # objective selection
+    # ------------------------------------------------------------------
+    def _objective(
+        self, values: Dict[str, int], fault: StuckAtFault
+    ) -> Optional[Tuple[str, int]]:
+        site_signal = fault.line.signal
+        site_value = values[site_signal]
+        if fault.line.is_branch:
+            site_value = _faulty_site_value(values[site_signal], fault.value)
+
+        if not fv.is_faulty_value(site_value):
+            # Fault not yet activated.
+            src_value = values[site_signal]
+            if src_value == fv.X:
+                return (site_signal, fault.value ^ 1)
+            return None  # activation impossible under this assignment
+
+        # Fault activated: drive a D-frontier gate with an X-path.
+        frontier = self._d_frontier(values, fault)
+        frontier = [g for g in frontier if self._x_path_exists(g, values)]
+        if not frontier:
+            return None
+        gate_name = min(frontier, key=lambda n: self._po_dist.get(n, 10**9))
+        gate = self.circuit.gates[gate_name]
+        cv = controlling_value(gate.gtype)
+        for pin, src in enumerate(gate.inputs):
+            v = values[src]
+            if fault.line.is_branch and (gate_name, pin) == (fault.line.gate, fault.line.pin):
+                continue
+            if v == fv.X:
+                want = 0 if cv is None else cv ^ 1
+                return (src, want)
+        return None
+
+    def _d_frontier(self, values: Dict[str, int], fault: StuckAtFault) -> List[str]:
+        """Gates whose output is X while at least one input carries D/D̄."""
+        frontier = []
+        branch_key = (
+            (fault.line.gate, fault.line.pin) if fault.line.is_branch else None
+        )
+        for name in self._order:
+            if values[name] != fv.X:
+                continue
+            g = self.circuit.gates[name]
+            for pin, src in enumerate(g.inputs):
+                v = values[src]
+                if branch_key == (name, pin):
+                    v = _faulty_site_value(v, fault.value)
+                if fv.is_faulty_value(v):
+                    frontier.append(name)
+                    break
+        return frontier
+
+    def _x_path_exists(self, gate_name: str, values: Dict[str, int]) -> bool:
+        """True if an all-X path runs from ``gate_name`` to some PO."""
+        po_set = set(self.circuit.outputs)
+        seen = set()
+        stack = [gate_name]
+        while stack:
+            s = stack.pop()
+            if s in seen:
+                continue
+            seen.add(s)
+            if values.get(s) != fv.X:
+                continue
+            if s in po_set:
+                return True
+            stack.extend(g for g, _pin in self._fanout.get(s, ()))
+        return False
+
+    # ------------------------------------------------------------------
+    # backtrace
+    # ------------------------------------------------------------------
+    def _backtrace(
+        self, objective: Tuple[str, int], values: Dict[str, int]
+    ) -> Optional[Tuple[str, int]]:
+        """Map an objective (signal, value) to a PI assignment."""
+        signal, value = objective
+        for _ in range(len(self._order) + len(self.circuit.inputs) + 1):
+            if self.circuit.is_input(signal):
+                if values[signal] != fv.X:
+                    return None
+                return (signal, value)
+            gate = self.circuit.gates[signal]
+            gt = gate.gtype
+            if gt in (GateType.CONST0, GateType.CONST1):
+                return None
+            if gt in (GateType.NOT, GateType.BUF):
+                value ^= 1 if gt is GateType.NOT else 0
+                signal = gate.inputs[0]
+                continue
+            x_inputs = [(pin, src) for pin, src in enumerate(gate.inputs) if values[src] == fv.X]
+            if not x_inputs:
+                return None
+            if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+                cv = controlling_value(gt)
+                core_target = value ^ (1 if inversion(gt) else 0)
+                # A controlling input is enough when the AND-core must
+                # produce 0 (resp. the OR-core must produce 1); otherwise
+                # every input must take the non-controlling value.
+                need_controlling = core_target == (
+                    0 if gt in (GateType.AND, GateType.NAND) else 1
+                )
+                if need_controlling:
+                    # one controlling input suffices: pick the cheapest
+                    cost = self._cost0 if cv == 0 else self._cost1
+                    pin, src = min(x_inputs, key=lambda t: cost.get(t[1], 0))
+                    value = cv
+                else:
+                    # every input must be non-controlling: attack the
+                    # hardest one first (fail fast)
+                    cost = self._cost1 if cv == 0 else self._cost0
+                    pin, src = max(x_inputs, key=lambda t: cost.get(t[1], 0))
+                    value = cv ^ 1
+                signal = src
+                continue
+            # XOR / XNOR: aim the first X input at the parity residue.
+            parity = 1 if gt is GateType.XNOR else 0
+            known = 0
+            for pin, src in enumerate(gate.inputs):
+                v = values[src]
+                if v == fv.ONE:
+                    known ^= 1
+                elif v in (fv.D,):
+                    known ^= 1  # good-machine view
+            pin, src = x_inputs[0]
+            value = value ^ parity ^ known
+            signal = src
+        return None
+
+
+def _faulty_site_value(value: int, stuck: int) -> int:
+    """Composite value observed on a faulty line.
+
+    ``value`` is the fault-free (driving) five-valued value; the line is
+    stuck at ``stuck``.  A clean 0/1 opposite to the stuck value turns
+    into D or D̄; the stuck value itself passes through; X stays X.
+    """
+    if value == fv.X:
+        return fv.X
+    good = fv.good_component(value)
+    if good == stuck:
+        return fv.ONE if stuck else fv.ZERO
+    return fv.D if stuck == 0 else fv.DBAR

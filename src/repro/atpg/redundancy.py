@@ -1,0 +1,96 @@
+"""Redundant-fault identification.
+
+A stuck-at fault is *redundant* when no input vector can make the
+faulty circuit differ from the fault-free one at any primary output;
+injecting a redundant fault therefore preserves the implemented
+function exactly.  Classical redundancy removal (the paper's Section
+III.B baseline, refs [13][14]) identifies redundant faults with an
+ATPG and simplifies the circuit at each redundant site; the paper's
+contribution generalizes this by also admitting faults whose errors
+stay within the RS threshold.
+
+This module provides the identification half on top of
+:class:`~repro.atpg.podem.Podem`; the removal loop lives in
+:mod:`repro.simplify.redundancy` next to the simplification engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit import Circuit
+from ..faults.collapse import collapse_faults
+from ..faults.model import StuckAtFault, enumerate_faults
+from .podem import AtpgResult, AtpgStatus, Podem
+
+__all__ = ["RedundancyReport", "is_redundant", "find_redundant_faults"]
+
+
+@dataclass
+class RedundancyReport:
+    """Classification of a fault list by testability."""
+
+    redundant: List[StuckAtFault] = field(default_factory=list)
+    testable: List[StuckAtFault] = field(default_factory=list)
+    aborted: List[StuckAtFault] = field(default_factory=list)
+    results: Dict[StuckAtFault, AtpgResult] = field(default_factory=dict)
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Fraction of classified faults that are redundant."""
+        total = len(self.redundant) + len(self.testable) + len(self.aborted)
+        return len(self.redundant) / total if total else 0.0
+
+
+def is_redundant(
+    circuit: Circuit, fault: StuckAtFault, backtrack_limit: int = 20_000
+) -> bool:
+    """True when PODEM proves ``fault`` untestable.
+
+    Aborted runs count as *not* redundant (conservative: an abort means
+    we failed to prove redundancy, so the fault must be assumed to
+    change the function).
+    """
+    result = Podem(circuit, backtrack_limit=backtrack_limit).run(fault)
+    return result.status is AtpgStatus.REDUNDANT
+
+
+def find_redundant_faults(
+    circuit: Circuit,
+    faults: Optional[Sequence[StuckAtFault]] = None,
+    backtrack_limit: int = 20_000,
+    collapse: bool = True,
+) -> RedundancyReport:
+    """Classify a fault list (default: the full collapsed list).
+
+    With ``collapse`` enabled only one representative per structural
+    equivalence class is run through ATPG and the verdict is copied to
+    the whole class.
+    """
+    if faults is None:
+        faults = enumerate_faults(circuit)
+    report = RedundancyReport()
+    podem = Podem(circuit, backtrack_limit=backtrack_limit)
+    if collapse:
+        classes = collapse_faults(circuit, faults)
+        for rep, members in classes.members.items():
+            res = podem.run(rep)
+            for f in members:
+                report.results[f] = res
+                _bucket(report, f, res)
+    else:
+        for f in faults:
+            res = podem.run(f)
+            report.results[f] = res
+            _bucket(report, f, res)
+    return report
+
+
+def _bucket(report: RedundancyReport, fault: StuckAtFault, res: AtpgResult) -> None:
+    if res.status is AtpgStatus.REDUNDANT:
+        report.redundant.append(fault)
+    elif res.status is AtpgStatus.TESTABLE:
+        report.testable.append(fault)
+    else:
+        report.aborted.append(fault)

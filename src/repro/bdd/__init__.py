@@ -1,0 +1,19 @@
+"""ROBDD engine and exact circuit analyses (ER, equivalence)."""
+
+from .robdd import Bdd
+from .circuit_bdd import (
+    BddLimitExceeded,
+    build_output_bdds,
+    check_equivalence,
+    exact_error_rate,
+    output_probabilities,
+)
+
+__all__ = [
+    "Bdd",
+    "BddLimitExceeded",
+    "build_output_bdds",
+    "exact_error_rate",
+    "check_equivalence",
+    "output_probabilities",
+]

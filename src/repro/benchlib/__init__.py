@@ -1,0 +1,51 @@
+"""Benchmark circuit generators: arithmetic blocks and the ISCAS85-like
+Table II evaluation suite."""
+
+from .adders import (
+    build_adder_circuit,
+    carry_lookahead_adder,
+    carry_save_row,
+    full_adder,
+    ripple_carry_adder,
+)
+from .multiplier import array_multiplier, build_multiplier_circuit, constant_multiplier
+from .alu import alu_slice, build_alu
+from .ecc import build_ecc_corrector, hamming_positions
+from .comparator import build_adder_comparator, magnitude_comparator
+from .control import control_pla
+from .random_logic import random_circuit
+from .iscas85 import (
+    ISCAS85_SUITE,
+    BenchmarkProfile,
+    c880_like,
+    c1908_like,
+    c3540_like,
+    c5315_like,
+    c7552_like,
+)
+
+__all__ = [
+    "full_adder",
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "carry_save_row",
+    "build_adder_circuit",
+    "array_multiplier",
+    "constant_multiplier",
+    "build_multiplier_circuit",
+    "alu_slice",
+    "build_alu",
+    "build_ecc_corrector",
+    "hamming_positions",
+    "magnitude_comparator",
+    "build_adder_comparator",
+    "control_pla",
+    "random_circuit",
+    "ISCAS85_SUITE",
+    "BenchmarkProfile",
+    "c880_like",
+    "c1908_like",
+    "c3540_like",
+    "c5315_like",
+    "c7552_like",
+]

@@ -1,0 +1,149 @@
+"""Adder generators: ripple-carry, carry-lookahead, carry-save stages.
+
+These are the datapath building blocks for the ISCAS85-like benchmark
+circuits and for the DCT hardware model (whose final stage is a row of
+27-bit adders, Section II of the paper).  All generators work on an
+existing :class:`~repro.circuit.builder.CircuitBuilder` so they can be
+composed into larger designs, and each returns the output bus (sum bits
+LSB-first plus carry-out).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit import Bus, CircuitBuilder, GateType
+
+__all__ = [
+    "full_adder",
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "carry_save_row",
+    "build_adder_circuit",
+]
+
+
+def full_adder(
+    b: CircuitBuilder, a: str, x: str, cin: Optional[str] = None
+) -> Tuple[str, str]:
+    """One full (or half) adder; returns (sum, carry_out)."""
+    if cin is None:
+        return b.XOR(a, x), b.AND(a, x)
+    p = b.XOR(a, x)
+    s = b.XOR(p, cin)
+    carry = b.OR(b.AND(a, x), b.AND(p, cin))
+    return s, carry
+
+
+def ripple_carry_adder(
+    b: CircuitBuilder,
+    a: Sequence[str],
+    x: Sequence[str],
+    cin: Optional[str] = None,
+) -> Bus:
+    """n-bit ripple-carry adder; returns sum bits then carry-out."""
+    if len(a) != len(x):
+        raise ValueError("operand widths differ")
+    carry = cin
+    sums: List[str] = []
+    for ai, xi in zip(a, x):
+        s, carry = full_adder(b, ai, xi, carry)
+        sums.append(s)
+    sums.append(carry)
+    return Bus(sums)
+
+
+def carry_lookahead_adder(
+    b: CircuitBuilder,
+    a: Sequence[str],
+    x: Sequence[str],
+    cin: Optional[str] = None,
+    group: int = 4,
+) -> Bus:
+    """n-bit adder with group carry-lookahead; returns sum bits + cout.
+
+    Generate/propagate terms are computed per bit, carries inside each
+    ``group``-bit block come from the expanded lookahead expression,
+    and blocks are rippled.  Larger and faster than ripple-carry, which
+    makes it a better stand-in for the synthesized adders in ISCAS85
+    cores.
+    """
+    if len(a) != len(x):
+        raise ValueError("operand widths differ")
+    n = len(a)
+    g = [b.AND(ai, xi) for ai, xi in zip(a, x)]
+    p = [b.XOR(ai, xi) for ai, xi in zip(a, x)]
+    carries: List[Optional[str]] = [cin]
+    for blk in range(0, n, group):
+        hi = min(blk + group, n)
+        for i in range(blk, hi):
+            # c_{i+1} = g_i + p_i g_{i-1} + ... + p_i..p_blk c_blk
+            terms: List[str] = [g[i]]
+            for j in range(i - 1, blk - 1, -1):
+                factors = [p[k] for k in range(j + 1, i + 1)] + [g[j]]
+                terms.append(b.AND(*factors) if len(factors) > 1 else factors[0])
+            c_in_blk = carries[blk]
+            if c_in_blk is not None:
+                factors = [p[k] for k in range(blk, i + 1)] + [c_in_blk]
+                terms.append(b.AND(*factors))
+            carries.append(b.OR(*terms) if len(terms) > 1 else terms[0])
+    sums: List[str] = []
+    for i in range(n):
+        if carries[i] is None:
+            sums.append(p[i])
+        else:
+            sums.append(b.XOR(p[i], carries[i]))
+    sums.append(carries[n])
+    return Bus(sums)
+
+
+def carry_save_row(
+    b: CircuitBuilder,
+    a: Sequence[str],
+    x: Sequence[str],
+    y: Sequence[str],
+) -> Tuple[Bus, Bus]:
+    """3:2 carry-save compressor row; returns (sum bus, carry bus).
+
+    The carry bus is *unshifted*; callers shift it one position left
+    when feeding the next stage, as usual for CSA trees (used by the
+    array multiplier and the DCT accumulation tree).
+    """
+    if not (len(a) == len(x) == len(y)):
+        raise ValueError("operand widths differ")
+    sums: List[str] = []
+    carries: List[str] = []
+    for ai, xi, yi in zip(a, x, y):
+        p = b.XOR(ai, xi)
+        sums.append(b.XOR(p, yi))
+        carries.append(b.OR(b.AND(ai, xi), b.AND(p, yi)))
+    return Bus(sums), Bus(carries)
+
+
+def build_adder_circuit(
+    bits: int = 8,
+    kind: str = "ripple",
+    name: Optional[str] = None,
+    control_parity: bool = False,
+):
+    """A standalone weighted adder circuit (for examples and tests).
+
+    Outputs are the n sum bits (weights 1, 2, 4, ...) and the carry-out
+    (weight 2**n), all data outputs.  With ``control_parity`` a parity
+    control output over the operands is added, giving the circuit a
+    non-trivial datapath/control split.  Returns a
+    :class:`~repro.circuit.netlist.Circuit`.
+    """
+    b = CircuitBuilder(name or f"{kind}_adder{bits}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    if kind == "ripple":
+        out = ripple_carry_adder(b, a, x)
+    elif kind == "cla":
+        out = carry_lookahead_adder(b, a, x)
+    else:
+        raise ValueError(f"unknown adder kind {kind!r}")
+    b.output_bus(out)
+    if control_parity:
+        b.output(b.parity(list(a) + list(x)), weight=1, is_data=False)
+    return b.build()

@@ -1,0 +1,85 @@
+"""ALU generators in the style of the ISCAS85 cores.
+
+Hansen, Yalcin & Hayes ("Unveiling the ISCAS-85 Benchmarks", ref [17]
+of the paper) reverse-engineered the benchmark netlists into high-level
+models: c880 is an 8-bit ALU, c3540 an 8-bit ALU with BCD and control
+logic, c5315 a 9-bit ALU computing two arithmetic channels with parity.
+The generators here produce gate-level ALUs with the same ingredients
+-- add/subtract datapaths, logic-op channels, function decoding, and
+status/parity control outputs -- which is what the Table II experiment
+needs: arithmetic data outputs with exponential weights embedded in
+control logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit import Bus, CircuitBuilder, GateType
+from .adders import carry_lookahead_adder, ripple_carry_adder
+
+__all__ = ["alu_slice", "build_alu"]
+
+
+def alu_slice(
+    b: CircuitBuilder,
+    a: Sequence[str],
+    x: Sequence[str],
+    op_onehot: Sequence[str],
+    adder: str = "cla",
+) -> Tuple[Bus, str]:
+    """One ALU channel: op-multiplexed ADD / AND / OR / XOR.
+
+    ``op_onehot`` supplies four one-hot select lines.  Returns the
+    result bus (width n+1; logic results are zero-extended into the
+    carry position) and the carry-out signal of the adder.
+    """
+    if len(a) != len(x):
+        raise ValueError("operand widths differ")
+    if len(op_onehot) != 4:
+        raise ValueError("alu_slice needs 4 one-hot op lines")
+    n = len(a)
+    sel_add, sel_and, sel_or, sel_xor = op_onehot
+    if adder == "cla":
+        add = carry_lookahead_adder(b, a, x)
+    else:
+        add = ripple_carry_adder(b, a, x)
+    sum_bits, cout = list(add)[:n], add[n]
+    res: List[str] = []
+    for i in range(n):
+        t_add = b.AND(sel_add, sum_bits[i])
+        t_and = b.AND(sel_and, b.AND(a[i], x[i]))
+        t_or = b.AND(sel_or, b.OR(a[i], x[i]))
+        t_xor = b.AND(sel_xor, b.XOR(a[i], x[i]))
+        res.append(b.OR(t_add, t_and, t_or, t_xor))
+    res.append(b.AND(sel_add, cout))
+    return Bus(res), cout
+
+
+def build_alu(
+    bits: int = 8,
+    name: Optional[str] = None,
+    adder: str = "cla",
+    with_flags: bool = True,
+):
+    """A complete weighted ALU circuit with control outputs.
+
+    Primary inputs: two ``bits``-wide operands and a 2-bit opcode.
+    Data outputs: the (bits+1)-wide result with power-of-two weights.
+    Control outputs (``with_flags``): zero flag, result parity, and the
+    decoded-op validity line -- giving the circuit the datapath/control
+    split the paper's fault filtering keys on.
+    """
+    b = CircuitBuilder(name or f"alu{bits}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    op = b.input_bus("op", 2)
+    onehot = b.decoder(op)
+    res, _cout = alu_slice(b, a, x, onehot, adder=adder)
+    b.output_bus(res)
+    if with_flags:
+        zero = b.NOR(*res)
+        b.output(zero, weight=1, is_data=False)
+        b.output(b.parity(list(res)), weight=1, is_data=False)
+        b.output(b.OR(*onehot), weight=1, is_data=False)
+    return b.build()

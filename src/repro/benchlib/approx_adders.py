@@ -1,0 +1,105 @@
+"""Hand-designed approximate adder baselines.
+
+The paper's related work (its refs [7][8]) re-designs datapath modules
+by hand; the most common published baselines are reproduced here so the
+benchmarks can compare the ATPG-driven method against them on equal
+RS footing:
+
+* **Truncated adder (TruA)** -- the k low result bits are tied to
+  constant 0 and their logic removed.  This is exactly the design the
+  paper's Section II budget analysis reasons about ("each adder can
+  tolerate elimination of up to 9 LSBs").
+* **Lower-OR adder (LOA)** -- the k low result bits are computed as
+  ``a_i OR b_i`` with no carry chain (Mahdiani et al.'s classic
+  approximate architecture); only the upper part carries exactly, with
+  a single AND-coupled carry-in from the highest approximate bit pair.
+
+Both generators return circuits with the same interface as
+:func:`repro.benchlib.adders.build_adder_circuit` (weighted sum bus +
+carry out), so :class:`~repro.metrics.MetricsEstimator` can measure
+their ER/ES/RS against the exact adder directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit import Bus, Circuit, CircuitBuilder
+from .adders import ripple_carry_adder
+
+__all__ = ["build_truncated_adder", "build_lower_or_adder", "build_almost_correct_adder"]
+
+
+def build_truncated_adder(
+    bits: int, truncate: int, name: Optional[str] = None
+) -> Circuit:
+    """Adder with the ``truncate`` low sum bits tied to constant 0.
+
+    The upper ``bits - truncate`` positions add exactly (with no carry
+    in from the dropped region, which is what physically remains after
+    the low-order full adders are removed).
+    """
+    if not 0 <= truncate <= bits:
+        raise ValueError(f"cannot truncate {truncate} of {bits} bits")
+    b = CircuitBuilder(name or f"tru_adder{bits}_k{truncate}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    zero = b.const(0)
+    low: List[str] = [zero] * truncate
+    if truncate < bits:
+        upper = ripple_carry_adder(b, a[truncate:], x[truncate:])
+        out = low + list(upper)
+    else:
+        out = low + [zero]
+    b.output_bus(Bus(out))
+    return b.build()
+
+
+def build_almost_correct_adder(
+    bits: int, window: int, name: Optional[str] = None
+) -> Circuit:
+    """Almost-correct adder (ACA): each sum bit uses a bounded carry
+    window.
+
+    Sum bit *i* is computed by a small ripple adder over inputs
+    ``max(0, i-window+1) .. i`` only -- the speculative-carry scheme of
+    Verma et al. that the paper's ref [7] delay work builds on.  Errors
+    occur exactly when a real carry chain exceeds the window.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    b = CircuitBuilder(name or f"aca_adder{bits}_w{window}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    out: List[str] = []
+    for i in range(bits):
+        lo = max(0, i - window + 1)
+        seg = ripple_carry_adder(b, a[lo : i + 1], x[lo : i + 1])
+        out.append(seg[i - lo])
+        if i == bits - 1:
+            carry = seg[i - lo + 1]
+    out.append(carry)
+    b.output_bus(Bus(out))
+    return b.build()
+
+
+def build_lower_or_adder(
+    bits: int, approx_bits: int, name: Optional[str] = None
+) -> Circuit:
+    """Lower-OR adder: the low ``approx_bits`` positions compute
+    ``a_i OR b_i``; the upper part adds exactly with a carry-in of
+    ``a_{k-1} AND b_{k-1}`` (the LOA coupling term)."""
+    if not 0 <= approx_bits <= bits:
+        raise ValueError(f"cannot approximate {approx_bits} of {bits} bits")
+    b = CircuitBuilder(name or f"loa_adder{bits}_k{approx_bits}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    low = [b.OR(a[i], x[i]) for i in range(approx_bits)]
+    if approx_bits < bits:
+        cin = b.AND(a[approx_bits - 1], x[approx_bits - 1]) if approx_bits else None
+        upper = ripple_carry_adder(b, a[approx_bits:], x[approx_bits:], cin=cin)
+        out = low + list(upper)
+    else:
+        out = low + [b.const(0)]
+    b.output_bus(Bus(out))
+    return b.build()

@@ -1,0 +1,74 @@
+"""Wide adder / magnitude comparator / parity unit (the c7552-like core).
+
+c7552 is a 32-bit adder/comparator with input parity checking per the
+ISCAS85 reverse engineering.  Its data outputs form a 33-bit sum whose
+top weight is 2**32, which is why the paper sweeps *tiny* %RS values
+(1e-7 ... 1e-6) for it: one part in 10**7 of RS_max is already a
+deviation of hundreds at the numeric level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit import Bus, CircuitBuilder
+from .adders import carry_lookahead_adder
+
+__all__ = ["magnitude_comparator", "build_adder_comparator"]
+
+
+def magnitude_comparator(
+    b: CircuitBuilder, a: Sequence[str], x: Sequence[str]
+) -> Tuple[str, str, str]:
+    """Unsigned comparator; returns (a_gt_x, a_eq_x, a_lt_x).
+
+    Built MSB-down: at each bit, ``gt`` fires when all higher bits are
+    equal and ``a_i > x_i``.
+    """
+    if len(a) != len(x):
+        raise ValueError("operand widths differ")
+    eq_bits = [b.XNOR(ai, xi) for ai, xi in zip(a, x)]
+    gt_terms: List[str] = []
+    lt_terms: List[str] = []
+    for i in reversed(range(len(a))):
+        higher = eq_bits[i + 1 :]
+        gt_i = b.AND(a[i], b.NOT(x[i]))
+        lt_i = b.AND(b.NOT(a[i]), x[i])
+        if higher:
+            prefix = b.AND(*higher) if len(higher) > 1 else higher[0]
+            gt_terms.append(b.AND(prefix, gt_i))
+            lt_terms.append(b.AND(prefix, lt_i))
+        else:
+            gt_terms.append(gt_i)
+            lt_terms.append(lt_i)
+    gt = b.OR(*gt_terms) if len(gt_terms) > 1 else gt_terms[0]
+    lt = b.OR(*lt_terms) if len(lt_terms) > 1 else lt_terms[0]
+    eq = b.AND(*eq_bits) if len(eq_bits) > 1 else eq_bits[0]
+    return gt, eq, lt
+
+
+def build_adder_comparator(
+    bits: int = 32,
+    name: Optional[str] = None,
+    parity_groups: int = 4,
+):
+    """Wide adder + comparator + input parity checkers.
+
+    Data outputs: the (bits+1)-bit sum, weights 1 ... 2**bits.
+    Control outputs: greater/equal/less comparison flags and one parity
+    check line per input group.
+    """
+    b = CircuitBuilder(name or f"addcmp{bits}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    total = carry_lookahead_adder(b, a, x)
+    b.output_bus(total)
+    gt, eq, lt = magnitude_comparator(b, a, x)
+    b.output(gt, weight=1, is_data=False)
+    b.output(eq, weight=1, is_data=False)
+    b.output(lt, weight=1, is_data=False)
+    group = max(1, bits // max(1, parity_groups))
+    for start in range(0, bits, group):
+        chunk = list(a[start : start + group]) + list(x[start : start + group])
+        b.output(b.parity(chunk), weight=1, is_data=False)
+    return b.build()

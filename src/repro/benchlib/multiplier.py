@@ -1,0 +1,92 @@
+"""Array multiplier and constant-coefficient (shift-add) multipliers.
+
+The DCT hardware model multiplies pixel inputs by fixed cosine
+coefficients; in real direct-2D-DCT implementations these are
+constant-coefficient shift-add networks, which
+:func:`constant_multiplier` reproduces.  The general
+:func:`array_multiplier` (carry-save partial-product array with a
+final ripple adder) feeds the ALU-style benchmark circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..circuit import Bus, CircuitBuilder
+from .adders import carry_save_row, ripple_carry_adder
+
+__all__ = ["array_multiplier", "constant_multiplier", "build_multiplier_circuit"]
+
+
+def array_multiplier(
+    b: CircuitBuilder, a: Sequence[str], x: Sequence[str]
+) -> Bus:
+    """Unsigned array multiplier; returns the (len(a)+len(x))-bit product.
+
+    Partial products are ANDed, compressed with carry-save rows and
+    finished with a ripple-carry adder -- the classic array structure.
+    """
+    n, m = len(a), len(x)
+    width = n + m
+    zero = b.const(0)
+    rows: List[List[str]] = []
+    for j in range(m):
+        row = [zero] * j + [b.AND(ai, x[j]) for ai in a] + [zero] * (width - j - n)
+        rows.append(row)
+    while len(rows) > 2:
+        nxt: List[List[str]] = []
+        for i in range(0, len(rows) - 2, 3):
+            s, c = carry_save_row(b, rows[i], rows[i + 1], rows[i + 2])
+            nxt.append(list(s))
+            nxt.append([zero] + list(c)[:-1])  # carries shift left one bit
+        rest = len(rows) % 3
+        if rest:
+            nxt.extend(rows[-rest:])
+        rows = nxt
+    if len(rows) == 1:
+        return Bus(rows[0])
+    total = ripple_carry_adder(b, rows[0], rows[1])
+    return Bus(list(total)[:width])
+
+
+def constant_multiplier(
+    b: CircuitBuilder, a: Sequence[str], coefficient: int, width: Optional[int] = None
+) -> Bus:
+    """Multiply a bus by a non-negative constant with shift-add logic.
+
+    Each set bit of ``coefficient`` contributes ``a << k``; the shifted
+    copies are summed with ripple-carry adders.  ``width`` truncates or
+    zero-extends the result (default: exact product width).
+    """
+    if coefficient < 0:
+        raise ValueError("coefficient must be non-negative")
+    n = len(a)
+    exact = n + max(coefficient.bit_length(), 1)
+    width = width or exact
+    zero = b.const(0)
+
+    def shifted(k: int) -> List[str]:
+        out = [zero] * k + list(a)
+        out = out[:width]
+        return out + [zero] * (width - len(out))
+
+    terms: List[List[str]] = [
+        shifted(k) for k in range(coefficient.bit_length()) if (coefficient >> k) & 1
+    ]
+    if not terms:
+        return Bus([zero] * width)
+    acc = terms[0]
+    for t in terms[1:]:
+        acc = list(ripple_carry_adder(b, acc, t))[:width]
+        acc += [zero] * (width - len(acc))
+    return Bus(acc[:width])
+
+
+def build_multiplier_circuit(bits: int = 4, name: Optional[str] = None):
+    """A standalone weighted array-multiplier circuit."""
+    b = CircuitBuilder(name or f"mult{bits}x{bits}")
+    a = b.input_bus("a", bits)
+    x = b.input_bus("b", bits)
+    prod = array_multiplier(b, a, x)
+    b.output_bus(prod)
+    return b.build()

@@ -1,0 +1,23 @@
+"""Multi-fault interaction theory: parity, double-fault ER/ES bounds."""
+
+from .parity import Parity, fault_parity, parity_profile
+from .double import (
+    DoubleFaultAnalysis,
+    analyze_double_fault,
+    lemma1_er,
+    lemma1_es_bound,
+    lemma2_es_bound,
+    lemma2_w,
+)
+
+__all__ = [
+    "Parity",
+    "fault_parity",
+    "parity_profile",
+    "DoubleFaultAnalysis",
+    "analyze_double_fault",
+    "lemma1_er",
+    "lemma1_es_bound",
+    "lemma2_es_bound",
+    "lemma2_w",
+]

@@ -1,0 +1,69 @@
+"""Gate-level netlist substrate: gates, circuits, I/O and structure."""
+
+from .gates import (
+    ALL_ONES,
+    GateType,
+    controlled_response,
+    controlling_value,
+    constant_value,
+    evaluate,
+    evaluate_words,
+    inversion,
+    is_constant,
+)
+from .netlist import Circuit, CircuitError, Gate, gate_area
+from .builder import Bus, CircuitBuilder
+from .bench import BenchParseError, dump_bench, dumps_bench, load_bench, loads_bench
+from .verilog import (
+    VerilogParseError,
+    dump_verilog,
+    dumps_verilog,
+    load_verilog,
+    loads_verilog,
+)
+from .structure import (
+    classify_signals,
+    cones_reached,
+    datapath_signals,
+    fanout_disjoint,
+    output_cone,
+    subcircuit,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+__all__ = [
+    "ALL_ONES",
+    "GateType",
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "gate_area",
+    "Bus",
+    "CircuitBuilder",
+    "BenchParseError",
+    "load_bench",
+    "loads_bench",
+    "dump_bench",
+    "dumps_bench",
+    "VerilogParseError",
+    "load_verilog",
+    "loads_verilog",
+    "dump_verilog",
+    "dumps_verilog",
+    "controlling_value",
+    "controlled_response",
+    "constant_value",
+    "inversion",
+    "is_constant",
+    "evaluate",
+    "evaluate_words",
+    "transitive_fanin",
+    "transitive_fanout",
+    "output_cone",
+    "cones_reached",
+    "fanout_disjoint",
+    "datapath_signals",
+    "classify_signals",
+    "subcircuit",
+]

@@ -1,0 +1,188 @@
+"""Fluent construction helper for gate-level circuits.
+
+:class:`CircuitBuilder` wraps a :class:`~repro.circuit.netlist.Circuit`
+with automatic gate naming, word-level buses and small logic idioms
+(mux, decoder, reduction trees).  The arithmetic generators in
+:mod:`repro.benchlib` and the DCT hardware model in :mod:`repro.dct`
+are written against this API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["CircuitBuilder", "Bus"]
+
+
+class Bus(tuple):
+    """An ordered tuple of signal names, LSB first."""
+
+    def __new__(cls, signals: Iterable[str]) -> "Bus":
+        return super().__new__(cls, tuple(signals))
+
+    @property
+    def width(self) -> int:
+        return len(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bus({list(self)!r})"
+
+
+class CircuitBuilder:
+    """Builds a :class:`Circuit` with auto-named gates.
+
+    Gate helper methods (:meth:`AND`, :meth:`XOR`, ...) create a gate
+    and return the name of the driven signal, so expressions compose::
+
+        b = CircuitBuilder("half_adder")
+        a, c = b.input("a"), b.input("b")
+        b.output(b.XOR(a, c), weight=1)
+        b.output(b.AND(a, c), weight=2)
+        circuit = b.build()
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.circuit = Circuit(name)
+        self._counter: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str) -> str:
+        """Generate a fresh signal name with the given prefix."""
+        while True:
+            n = self._counter.get(prefix, 0)
+            self._counter[prefix] = n + 1
+            name = f"{prefix}_{n}"
+            if not self.circuit.has_signal(name):
+                return name
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def input(self, name: Optional[str] = None) -> str:
+        """Declare one primary input."""
+        return self.circuit.add_input(name or self.fresh("in"))
+
+    def input_bus(self, prefix: str, width: int) -> Bus:
+        """Declare ``width`` primary inputs named ``prefix0..prefix{w-1}``."""
+        return Bus(self.circuit.add_input(f"{prefix}{i}") for i in range(width))
+
+    def output(self, signal: str, weight: int = 1, is_data: bool = True) -> str:
+        """Declare one primary output."""
+        return self.circuit.add_output(signal, weight=weight, is_data=is_data)
+
+    def output_bus(self, bus: Sequence[str], is_data: bool = True, base_weight: int = 1) -> None:
+        """Declare a whole bus as outputs with power-of-two weights.
+
+        Bit ``i`` (LSB first) gets weight ``base_weight * 2**i``,
+        matching Definition 8 of the paper.
+        """
+        for i, s in enumerate(bus):
+            self.circuit.add_output(s, weight=base_weight << i, is_data=is_data)
+
+    # ------------------------------------------------------------------
+    # primitive gates
+    # ------------------------------------------------------------------
+    def gate(self, gtype: GateType, inputs: Sequence[str], name: Optional[str] = None) -> str:
+        """Add an arbitrary gate and return its output signal name."""
+        name = name or self.fresh(gtype.value.lower())
+        return self.circuit.add_gate(name, gtype, tuple(inputs))
+
+    def AND(self, *ins: str, name: Optional[str] = None) -> str:
+        return self._nary(GateType.AND, ins, name)
+
+    def NAND(self, *ins: str, name: Optional[str] = None) -> str:
+        return self._nary(GateType.NAND, ins, name)
+
+    def OR(self, *ins: str, name: Optional[str] = None) -> str:
+        return self._nary(GateType.OR, ins, name)
+
+    def NOR(self, *ins: str, name: Optional[str] = None) -> str:
+        return self._nary(GateType.NOR, ins, name)
+
+    def XOR(self, *ins: str, name: Optional[str] = None) -> str:
+        return self._nary(GateType.XOR, ins, name)
+
+    def XNOR(self, *ins: str, name: Optional[str] = None) -> str:
+        return self._nary(GateType.XNOR, ins, name)
+
+    def NOT(self, a: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NOT, (a,), name)
+
+    def BUF(self, a: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.BUF, (a,), name)
+
+    def const(self, value: int, name: Optional[str] = None) -> str:
+        """A constant-0 or constant-1 driver."""
+        gtype = GateType.CONST1 if value else GateType.CONST0
+        return self.gate(gtype, (), name)
+
+    def _nary(self, gtype: GateType, ins: Sequence[str], name: Optional[str]) -> str:
+        if not ins:
+            raise CircuitError(f"{gtype.value} requires at least one input")
+        if len(ins) == 1:
+            # Degenerate n-ary gates collapse to wires/inverters.
+            if gtype in (GateType.AND, GateType.OR, GateType.XOR):
+                return self.BUF(ins[0], name) if name else ins[0]
+            return self.NOT(ins[0], name)
+        return self.gate(gtype, ins, name)
+
+    # ------------------------------------------------------------------
+    # idioms
+    # ------------------------------------------------------------------
+    def mux2(self, sel: str, a: str, b: str, name: Optional[str] = None) -> str:
+        """2:1 multiplexer: returns ``a`` when sel=0, ``b`` when sel=1."""
+        nsel = self.NOT(sel)
+        t0 = self.AND(nsel, a)
+        t1 = self.AND(sel, b)
+        return self.OR(t0, t1, name=name)
+
+    def mux_bus(self, sel: str, a: Sequence[str], b: Sequence[str], prefix: str = "mux") -> Bus:
+        """Bitwise 2:1 mux over two equal-width buses."""
+        if len(a) != len(b):
+            raise CircuitError("mux_bus requires equal-width buses")
+        return Bus(self.mux2(sel, x, y, name=self.fresh(prefix)) for x, y in zip(a, b))
+
+    def reduce_tree(self, gtype: GateType, signals: Sequence[str], fanin: int = 2) -> str:
+        """Balanced reduction tree (e.g. wide OR built from 2-input ORs)."""
+        sigs = list(signals)
+        if not sigs:
+            raise CircuitError("reduce_tree needs at least one signal")
+        while len(sigs) > 1:
+            nxt: List[str] = []
+            for i in range(0, len(sigs), fanin):
+                chunk = sigs[i : i + fanin]
+                nxt.append(chunk[0] if len(chunk) == 1 else self.gate(gtype, chunk))
+            sigs = nxt
+        return sigs[0]
+
+    def parity(self, signals: Sequence[str]) -> str:
+        """XOR-reduction parity of a set of signals."""
+        return self.reduce_tree(GateType.XOR, signals)
+
+    def equal_const(self, bus: Sequence[str], value: int) -> str:
+        """Comparator output that is 1 iff ``bus`` equals constant ``value``."""
+        terms = []
+        for i, s in enumerate(bus):
+            terms.append(s if (value >> i) & 1 else self.NOT(s))
+        return self.reduce_tree(GateType.AND, terms)
+
+    def decoder(self, sel: Sequence[str], prefix: str = "dec") -> Bus:
+        """Full decoder of an n-bit select bus into 2**n one-hot lines."""
+        lines = []
+        for v in range(1 << len(sel)):
+            lines.append(self.equal_const(sel, v))
+        return Bus(lines)
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Circuit:
+        """Return the constructed circuit (validated by default)."""
+        if validate:
+            self.circuit.validate()
+        return self.circuit

@@ -1,0 +1,218 @@
+"""Primitive gate types and their Boolean semantics.
+
+The paper (Section III.C) assumes combinational circuits built from
+primitive gates.  This module defines the gate alphabet used across the
+library -- the classic ISCAS85 set (AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF)
+plus constant drivers that appear when simplification ties a signal to a
+static value -- together with:
+
+* scalar evaluation (`evaluate`),
+* 64-way bit-parallel evaluation on numpy ``uint64`` words
+  (`evaluate_words`), used by the logic/fault simulators,
+* the structural attributes ATPG needs: controlling value, controlled
+  response, and inversion parity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "GateType",
+    "ALL_ONES",
+    "controlling_value",
+    "controlled_response",
+    "inversion",
+    "evaluate",
+    "evaluate_words",
+    "is_constant",
+    "constant_value",
+    "min_inputs",
+]
+
+#: All-ones 64-bit word, the bit-parallel encoding of logic 1.
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class GateType(enum.Enum):
+    """The primitive gate alphabet.
+
+    ``CONST0``/``CONST1`` are zero-input pseudo-gates used to represent
+    signals tied to a static value by simplification; they occupy no
+    area.  ``BUF`` is an identity gate (a wire) that also occupies no
+    area -- it only survives cleanup when a primary output must keep its
+    name while aliasing another signal.
+    """
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+_INVERTING = {
+    GateType.NAND: True,
+    GateType.NOR: True,
+    GateType.XNOR: True,
+    GateType.NOT: True,
+    GateType.AND: False,
+    GateType.OR: False,
+    GateType.XOR: False,
+    GateType.BUF: False,
+}
+
+
+def controlling_value(gtype: GateType) -> int | None:
+    """Return the controlling input value of ``gtype``.
+
+    A controlling value at any input fully determines the gate output.
+    XOR/XNOR/NOT/BUF and constants have no controlling value, so this
+    returns ``None`` for them.
+    """
+    return _CONTROLLING.get(gtype)
+
+
+def controlled_response(gtype: GateType) -> int | None:
+    """Output produced when a controlling value is present at an input."""
+    cv = _CONTROLLING.get(gtype)
+    if cv is None:
+        return None
+    return cv ^ 1 if _INVERTING[gtype] else cv
+
+
+def inversion(gtype: GateType) -> bool:
+    """True when the gate output inverts its 'natural' (AND/OR/XOR) core."""
+    if gtype in (GateType.CONST0, GateType.CONST1):
+        return False
+    return _INVERTING[gtype]
+
+
+def is_constant(gtype: GateType) -> bool:
+    """True for the CONST0/CONST1 pseudo-gates."""
+    return gtype in (GateType.CONST0, GateType.CONST1)
+
+
+def constant_value(gtype: GateType) -> int:
+    """The value driven by a constant pseudo-gate."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    raise ValueError(f"{gtype} is not a constant gate")
+
+
+def min_inputs(gtype: GateType) -> int:
+    """Minimum legal input count for a gate of this type."""
+    if is_constant(gtype):
+        return 0
+    if gtype in (GateType.NOT, GateType.BUF):
+        return 1
+    return 1  # n-input gates legally degenerate to 1 input during rewriting
+
+
+def evaluate(gtype: GateType, values: Sequence[int]) -> int:
+    """Evaluate a gate on scalar 0/1 input values.
+
+    Degenerate single-input AND/OR/XOR gates act as buffers and their
+    inverting twins as inverters, matching the Table I rewrite rules.
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if not values:
+        raise ValueError(f"{gtype} gate requires at least one input")
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        return values[0] ^ 1
+    if gtype is GateType.AND:
+        return int(all(values))
+    if gtype is GateType.NAND:
+        return int(not all(values))
+    if gtype is GateType.OR:
+        return int(any(values))
+    if gtype is GateType.NOR:
+        return int(not any(values))
+    acc = 0
+    for v in values:
+        acc ^= v
+    if gtype is GateType.XOR:
+        return acc
+    if gtype is GateType.XNOR:
+        return acc ^ 1
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+def evaluate_words(
+    gtype: GateType, words: Sequence[np.ndarray], out: np.ndarray | None = None
+) -> np.ndarray:
+    """Bit-parallel gate evaluation on arrays of ``uint64`` words.
+
+    Each bit position of the word array is an independent input vector;
+    a single call therefore evaluates the gate under 64 x len(word)
+    vectors.  ``out`` may name a preallocated destination array.
+    """
+    if gtype is GateType.CONST0:
+        if words:
+            shape = words[0].shape
+        elif out is not None:
+            shape = out.shape
+        else:
+            raise ValueError("CONST0 with no inputs needs an explicit out array")
+        res = np.zeros(shape, dtype=np.uint64)
+    elif gtype is GateType.CONST1:
+        if words:
+            shape = words[0].shape
+        elif out is not None:
+            shape = out.shape
+        else:
+            raise ValueError("CONST1 with no inputs needs an explicit out array")
+        res = np.full(shape, ALL_ONES, dtype=np.uint64)
+    elif gtype is GateType.BUF:
+        res = words[0].copy()
+    elif gtype is GateType.NOT:
+        res = np.bitwise_not(words[0])
+    elif gtype in (GateType.AND, GateType.NAND):
+        res = words[0].copy()
+        for w in words[1:]:
+            np.bitwise_and(res, w, out=res)
+        if gtype is GateType.NAND:
+            np.bitwise_not(res, out=res)
+    elif gtype in (GateType.OR, GateType.NOR):
+        res = words[0].copy()
+        for w in words[1:]:
+            np.bitwise_or(res, w, out=res)
+        if gtype is GateType.NOR:
+            np.bitwise_not(res, out=res)
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        res = words[0].copy()
+        for w in words[1:]:
+            np.bitwise_xor(res, w, out=res)
+        if gtype is GateType.XNOR:
+            np.bitwise_not(res, out=res)
+    else:
+        raise ValueError(f"unknown gate type {gtype!r}")
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res

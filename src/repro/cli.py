@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main flows on gate-level
+netlists (ISCAS85 ``.bench`` or structural Verilog ``.v``, selected by
+file extension) and on the built-in benchmark suite:
+
+* ``stats``      -- netlist statistics and datapath/control profile
+* ``simplify``   -- RS-budgeted simplification of a netlist
+* ``redundancy`` -- classical redundancy removal only
+* ``table2``     -- one Table II row on a built-in ISCAS85-like circuit
+* ``dct-study``  -- the Section II JPEG/DCT application study
+* ``er-tests``   -- error-rate test generation (ERTG flow)
+* ``yield``      -- effective-yield analysis on a defect population
+
+Output netlists are written in the format implied by the output path's
+extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .circuit import dump_bench, dump_verilog, load_bench, load_verilog
+from .core import format_report
+from .faults import datapath_faults, enumerate_faults
+from .metrics import rs_max
+from .simplify import GreedyConfig, circuit_simplify, remove_redundancies
+
+__all__ = ["main"]
+
+
+def _add_greedy_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--rs-pct", type=float, default=None,
+                   help="RS threshold as percent of the circuit's maximum RS")
+    p.add_argument("--rs", type=float, default=None,
+                   help="absolute RS threshold")
+    p.add_argument("--vectors", type=int, default=10_000,
+                   help="simulation vectors for ER estimation (default 10000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fom", choices=["area_per_rs", "area"], default="area_per_rs")
+    p.add_argument("--candidate-limit", type=int, default=200)
+    p.add_argument("--no-prepass", action="store_true",
+                   help="skip the redundancy-removal prepass")
+    p.add_argument("--pow2-es", action="store_true",
+                   help="paper-conservative power-of-two ES in commit checks")
+    p.add_argument("--weights", choices=["unit", "binary"], default="binary",
+                   help="output weights when the netlist has none "
+                        "(binary: bit i of the output list weighs 2**i)")
+
+
+def _load_weighted(path: str, weights: str):
+    """Load a netlist (.bench or .v, by extension) and weight outputs."""
+    if str(path).endswith((".v", ".sv")):
+        circuit = load_verilog(path)
+    else:
+        circuit = load_bench(path)
+    if weights == "binary":
+        for i, o in enumerate(circuit.outputs):
+            circuit.output_weights[o] = 1 << i
+    return circuit
+
+
+def _dump(circuit, path: str) -> None:
+    """Write a netlist in the format implied by the extension."""
+    if str(path).endswith((".v", ".sv")):
+        dump_verilog(circuit, path)
+    else:
+        dump_bench(circuit, path)
+
+
+def _config(args: argparse.Namespace) -> GreedyConfig:
+    return GreedyConfig(
+        num_vectors=args.vectors,
+        seed=args.seed,
+        fom=args.fom,
+        candidate_limit=args.candidate_limit,
+        redundancy_prepass=not args.no_prepass,
+        pow2_es=args.pow2_es,
+    )
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _load_weighted(args.netlist, args.weights)
+    s = circuit.stats()
+    for k, v in s.items():
+        print(f"{k:>14}: {v}")
+    nf = len(enumerate_faults(circuit))
+    nd = len(datapath_faults(circuit))
+    print(f"{'fault sites':>14}: {nf}")
+    print(f"{'datapath %':>14}: {100 * nd / nf:.2f}")
+    print(f"{'RS_max':>14}: {rs_max(circuit)}")
+    return 0
+
+
+def cmd_simplify(args: argparse.Namespace) -> int:
+    if (args.rs is None) == (args.rs_pct is None):
+        print("error: give exactly one of --rs / --rs-pct", file=sys.stderr)
+        return 2
+    circuit = _load_weighted(args.netlist, args.weights)
+    t0 = time.time()
+    result = circuit_simplify(
+        circuit,
+        rs_threshold=args.rs,
+        rs_pct_threshold=args.rs_pct,
+        config=_config(args),
+    )
+    print(format_report(result))
+    print(f"\nelapsed: {time.time() - t0:.1f}s")
+    if args.output:
+        _dump(result.simplified, args.output)
+        print(f"approximate netlist written to {args.output}")
+    return 0
+
+
+def cmd_redundancy(args: argparse.Namespace) -> int:
+    circuit = _load_weighted(args.netlist, args.weights)
+    res = remove_redundancies(circuit)
+    print(f"removed {len(res.removed_faults)} redundant fault(s); "
+          f"area {circuit.area()} -> {res.simplified.area()} "
+          f"({res.area_reduction_pct:.2f}%)")
+    for f in res.removed_faults:
+        print(f"  {f}")
+    if args.output:
+        _dump(res.simplified, args.output)
+        print(f"netlist written to {args.output}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .benchlib import ISCAS85_SUITE
+
+    profile = ISCAS85_SUITE[args.circuit]
+    circuit = profile.builder()
+    print(f"{args.circuit}-like: area {circuit.area()} (paper {profile.paper_area})")
+    config = _config(args)
+    sweep = [args.rs_pct] if args.rs_pct is not None else list(profile.rs_pct_sweep)
+    for pct in sweep:
+        t0 = time.time()
+        res = circuit_simplify(circuit, rs_pct_threshold=pct, config=config)
+        idx = (
+            profile.rs_pct_sweep.index(pct)
+            if pct in profile.rs_pct_sweep
+            else None
+        )
+        paper = (
+            f"{profile.paper_area_reduction_pct[idx]:.2f}%" if idx is not None else "n/a"
+        )
+        print(f"  %RS={pct:g}: ours {res.area_reduction_pct:.2f}%  paper {paper}  "
+              f"({len(res.faults)} faults, {time.time() - t0:.1f}s)")
+    return 0
+
+
+def cmd_dct_study(args: argparse.Namespace) -> int:
+    from .dct import (
+        ACCEPTABLE_PSNR,
+        figure2_configurations,
+        psnr_vs_rs_curve,
+        render_grid,
+        test_image,
+    )
+
+    image = test_image(args.size)
+    print("=== Figure 2 ===")
+    for grid, p in figure2_configurations(image):
+        print(f"{p.label}: PSNR={p.psnr_db:.2f} dB RS(Sum)={p.rs_sum:.3g} "
+              f"{'acceptable' if p.acceptable else 'NOT acceptable'}")
+        print(render_grid(grid))
+    print("\n=== Figure 3 ===")
+    for p in psnr_vs_rs_curve(image, num_points=11):
+        print(f"  RS(Sum)={p.rs_sum:12.4g}  PSNR={p.psnr_db:6.2f} dB")
+    return 0
+
+
+def cmd_er_tests(args: argparse.Namespace) -> int:
+    from .atpg import generate_er_tests
+
+    circuit = _load_weighted(args.netlist, args.weights)
+    ts = generate_er_tests(
+        circuit,
+        er_threshold=args.er,
+        num_candidates=args.candidates,
+        seed=args.seed,
+    )
+    print(f"targets (ER > {args.er:g}): {len(ts.targets)} faults, "
+          f"{ts.skipped_faults} tolerable faults skipped")
+    print(f"test set: {ts.num_tests} vectors, coverage {100 * ts.coverage:.1f}%")
+    if args.output:
+        with open(args.output, "w") as fh:
+            for row in ts.vectors:
+                fh.write("".join("1" if b else "0" for b in row) + "\n")
+        print(f"vectors written to {args.output} (one per line, input order)")
+    return 0
+
+
+def cmd_yield(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .yieldsim import classify_population, sample_population
+
+    circuit = _load_weighted(args.netlist, args.weights)
+    chips = sample_population(
+        circuit,
+        args.chips,
+        defect_density=args.density,
+        rng=np.random.default_rng(args.seed),
+    )
+    threshold = (
+        args.rs
+        if args.rs is not None
+        else (args.rs_pct or 0.0) / 100.0 * rs_max(circuit)
+    )
+    report = classify_population(
+        circuit, chips, threshold, num_vectors=args.vectors, seed=args.seed
+    )
+    print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATPG-driven circuit simplification for error tolerant "
+                    "applications (Shin & Gupta, DATE 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="netlist statistics")
+    p.add_argument("netlist")
+    p.add_argument("--weights", choices=["unit", "binary"], default="binary")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("simplify", help="RS-budgeted simplification")
+    p.add_argument("netlist")
+    p.add_argument("-o", "--output", default=None, help="write .bench here")
+    _add_greedy_options(p)
+    p.set_defaults(func=cmd_simplify)
+
+    p = sub.add_parser("redundancy", help="classical redundancy removal")
+    p.add_argument("netlist")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--weights", choices=["unit", "binary"], default="binary")
+    p.set_defaults(func=cmd_redundancy)
+
+    p = sub.add_parser("table2", help="Table II row on a built-in benchmark")
+    p.add_argument("circuit", choices=["c880", "c1908", "c3540", "c5315", "c7552"])
+    _add_greedy_options(p)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("dct-study", help="Section II JPEG/DCT study")
+    p.add_argument("--size", type=int, default=256, help="test image edge length")
+    p.set_defaults(func=cmd_dct_study)
+
+    p = sub.add_parser("er-tests", help="error-rate test generation (ERTG)")
+    p.add_argument("netlist")
+    p.add_argument("--er", type=float, default=0.0,
+                   help="test only faults with ER above this (default 0: all)")
+    p.add_argument("--candidates", type=int, default=2048)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None, help="write vectors here")
+    p.add_argument("--weights", choices=["unit", "binary"], default="binary")
+    p.set_defaults(func=cmd_er_tests)
+
+    p = sub.add_parser("yield", help="effective-yield analysis on a defect population")
+    p.add_argument("netlist")
+    p.add_argument("--chips", type=int, default=300)
+    p.add_argument("--density", type=float, default=0.8,
+                   help="expected defects per chip (Poisson lambda)")
+    p.add_argument("--rs", type=float, default=None, help="absolute RS budget")
+    p.add_argument("--rs-pct", type=float, default=None, help="RS budget in %% of RS_max")
+    p.add_argument("--vectors", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--weights", choices=["unit", "binary"], default="binary")
+    p.set_defaults(func=cmd_yield)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

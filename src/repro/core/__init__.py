@@ -1,0 +1,5 @@
+"""The paper's primary contribution, packaged as a one-call API."""
+
+from .api import format_report, simplify_for_error_tolerance, verify_simplification
+
+__all__ = ["simplify_for_error_tolerance", "verify_simplification", "format_report"]

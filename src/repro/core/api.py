@@ -1,0 +1,99 @@
+"""Top-level orchestration API.
+
+``simplify_for_error_tolerance`` is the one-call entry point a
+downstream user wants: give it a circuit and an error-tolerance budget,
+get back the simplified circuit with a full audit trail (selected
+faults, per-iteration metrics, final ER/ES/RS), plus helpers to verify
+the result against the original and to render a human-readable report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..metrics.errors import rs_max
+from ..metrics.estimate import MetricsEstimator
+from ..simplify.greedy import GreedyConfig, GreedyResult, circuit_simplify
+
+__all__ = ["simplify_for_error_tolerance", "verify_simplification", "format_report"]
+
+
+def simplify_for_error_tolerance(
+    circuit: Circuit,
+    rs_threshold: Optional[float] = None,
+    rs_pct_threshold: Optional[float] = None,
+    config: Optional[GreedyConfig] = None,
+) -> GreedyResult:
+    """Derive a minimum-area approximate version of ``circuit``.
+
+    Implements the paper's objective: *simplify a given original
+    circuit to derive a simplified circuit with minimum area that
+    produces errors within the given RS threshold.*  Provide the budget
+    either as an absolute RS value or as a percentage of the circuit's
+    maximum RS (``rs_pct_threshold``, as in Table II).
+
+    Both paper FOMs are tried and the better result is returned, as in
+    the paper's experimental methodology ("we use FOM as (area
+    reduction/RS) or (area reduction) and report better result").
+    """
+    cfg = config or GreedyConfig()
+    results = []
+    for fom in ("area_per_rs", "area"):
+        run_cfg = GreedyConfig(**{**cfg.__dict__, "fom": fom})
+        results.append(
+            circuit_simplify(
+                circuit,
+                rs_threshold=rs_threshold,
+                rs_pct_threshold=rs_pct_threshold,
+                config=run_cfg,
+            )
+        )
+    return max(results, key=lambda r: r.area_reduction)
+
+
+def verify_simplification(
+    result: GreedyResult,
+    num_vectors: int = 20_000,
+    seed: int = 12345,
+    exhaustive: bool = False,
+) -> bool:
+    """Independent re-measurement of a simplification result.
+
+    Uses a *fresh* vector batch (different seed than the optimization
+    loop) and returns True when the re-measured RS still satisfies the
+    threshold.  With ``exhaustive=True`` the check is exact (small
+    circuits only).
+    """
+    est = MetricsEstimator(
+        result.original,
+        num_vectors=num_vectors,
+        seed=seed,
+        exhaustive=exhaustive,
+    )
+    er, observed = est.simulate(approx=result.simplified)
+    return er * observed <= result.rs_threshold * (1.0 + 1e-9)
+
+
+def format_report(result: GreedyResult) -> str:
+    """Render a human-readable summary of a simplification run."""
+    orig = result.original
+    lines = [
+        f"circuit: {orig.name}",
+        f"  area: {orig.area()} -> {result.simplified.area()} "
+        f"({result.area_reduction_pct:.2f}% reduction)",
+        f"  depth: {orig.depth()} -> {result.simplified.depth()}",
+        f"  RS threshold: {result.rs_threshold:.6g} "
+        f"({100 * result.rs_threshold / rs_max(orig):.4g}% of RS_max {rs_max(orig)})",
+        f"  faults injected: {len(result.faults)}",
+    ]
+    if result.final_metrics is not None:
+        lines.append(f"  final metrics: {result.final_metrics}")
+    for rec in result.iterations:
+        lines.append(
+            f"    [{rec.index:3d}] {str(rec.fault):30s} area -{rec.area_delta:<4d} "
+            f"ER={rec.metrics.er:.4f} ES={rec.metrics.es} RS={rec.metrics.rs:.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""DCT/JPEG application substrate for the Section II study."""
+
+from .transform import BLOCK, blocks, dct2, dct_matrix, fixed_point_matrix, idct2, unblocks
+from .hardware import ADDER_WIDTH, FINAL_FRAC, FRAC_BITS, DctHardware, FaultyAdder
+from .images import mse, psnr, test_image
+from .jpeg import (
+    BASE_QUANT,
+    EncodedImage,
+    HuffmanCodec,
+    JpegCodec,
+    quant_table,
+    rle_decode,
+    rle_encode,
+    unzigzag,
+    zigzag,
+    zigzag_order,
+)
+from .study import (
+    ACCEPTABLE_PSNR,
+    GradedGrid,
+    StudyPoint,
+    figure2_configurations,
+    graded_grid,
+    psnr_vs_rs_curve,
+    render_grid,
+    run_configuration,
+)
+
+__all__ = [
+    "BLOCK",
+    "dct_matrix",
+    "dct2",
+    "idct2",
+    "fixed_point_matrix",
+    "blocks",
+    "unblocks",
+    "ADDER_WIDTH",
+    "FRAC_BITS",
+    "FINAL_FRAC",
+    "FaultyAdder",
+    "DctHardware",
+    "psnr",
+    "mse",
+    "test_image",
+    "JpegCodec",
+    "EncodedImage",
+    "HuffmanCodec",
+    "BASE_QUANT",
+    "quant_table",
+    "zigzag",
+    "unzigzag",
+    "zigzag_order",
+    "rle_encode",
+    "rle_decode",
+    "ACCEPTABLE_PSNR",
+    "GradedGrid",
+    "graded_grid",
+    "StudyPoint",
+    "run_configuration",
+    "psnr_vs_rs_curve",
+    "figure2_configurations",
+    "render_grid",
+]

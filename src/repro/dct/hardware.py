@@ -1,0 +1,182 @@
+"""Direct 2-D DCT hardware model with faulty final-stage adders.
+
+Section II of the paper uses a *direct* 2-D DCT: all 64 coefficient
+outputs are computed in parallel, each by a constant-multiplier array
+and an accumulation tree whose **final stage is a 27-bit adder**.
+Faults are injected only into those final-stage adders, one per output
+cell of the 8x8 coefficient grid (Fig. 2's grid).
+
+The model here keeps the (fault-free) multiplier arrays and tree as
+exact integer arithmetic and routes the final addition of the two tree
+halves through a bit-accurate adder model that supports stuck-at
+faults on its sum lines.  Stuck-at-0 faults on the k least-significant
+sum bits are exactly the "eliminate up to k LSBs" simplification the
+paper's budget analysis performs, and their gate-level counterpart
+(a ripple-carry adder with those SAFs injected) is what the test-suite
+cross-validates against.
+
+``FaultyAdder`` metrics: for truncation of k LSBs the deviation is the
+true sum's k low bits, so ES = 2**k - 1 and ER = 1 - 2**-k under
+uniform inputs; RS_cell = ER * ES (the paper rounds ER to 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .transform import BLOCK, fixed_point_matrix
+
+__all__ = ["FaultyAdder", "DctHardware", "ADDER_WIDTH", "FRAC_BITS"]
+
+#: Final-stage adder width used by the paper's architecture.
+ADDER_WIDTH = 27
+#: Fraction bits of the fixed-point DCT coefficient constants.
+FRAC_BITS = 8
+#: Fraction bits remaining at the final-stage adders.  The multiplier
+#: arrays produce 2*FRAC_BITS fraction bits; the accumulation tree
+#: renormalizes before its last stage, so the final adders work on
+#: values with FINAL_FRAC fraction bits.  This calibration makes the
+#: paper's budget arithmetic come out: at the PSNR = 30 dB threshold
+#: each final adder tolerates elimination of ~10 LSBs and the grid's
+#: RS (Sum) lands near 1e5 (Section II).
+FINAL_FRAC = 6
+
+
+@dataclass(frozen=True)
+class FaultyAdder:
+    """A ``width``-bit adder with stuck sum bits.
+
+    ``stuck0`` / ``stuck1`` are bit masks applied to the (two's
+    complement) sum output: bits in ``stuck0`` read 0, bits in
+    ``stuck1`` read 1.  ``truncate(k)`` builds the eliminate-k-LSBs
+    adder the paper's budget analysis uses.
+    """
+
+    width: int = ADDER_WIDTH
+    stuck0: int = 0
+    stuck1: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stuck0 & self.stuck1:
+            raise ValueError("a sum bit cannot be stuck at both 0 and 1")
+
+    @staticmethod
+    def exact(width: int = ADDER_WIDTH) -> "FaultyAdder":
+        """A fault-free adder."""
+        return FaultyAdder(width=width)
+
+    @staticmethod
+    def truncate(k: int, width: int = ADDER_WIDTH) -> "FaultyAdder":
+        """Adder with the k least-significant sum bits stuck at 0."""
+        if not 0 <= k <= width:
+            raise ValueError(f"cannot truncate {k} bits of a {width}-bit adder")
+        return FaultyAdder(width=width, stuck0=(1 << k) - 1)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.stuck0 == 0 and self.stuck1 == 0
+
+    # -- metrics ------------------------------------------------------
+    @property
+    def es(self) -> int:
+        """Worst-case |deviation| caused by the stuck sum bits."""
+        return self.stuck0 | self.stuck1
+
+    @property
+    def er(self) -> float:
+        """Error rate under uniformly distributed sums."""
+        bits = bin(self.stuck0 | self.stuck1).count("1")
+        return 1.0 - 0.5**bits if bits else 0.0
+
+    @property
+    def rs(self) -> float:
+        """Rate-significance RS = ER x ES of this adder in isolation."""
+        return self.er * self.es
+
+    # -- evaluation ---------------------------------------------------
+    def add(self, a: int, x: int) -> int:
+        """Signed addition through the faulty adder."""
+        mask = (1 << self.width) - 1
+        raw = (a + x) & mask
+        raw = (raw & ~self.stuck0) | self.stuck1
+        if raw >= 1 << (self.width - 1):
+            raw -= 1 << self.width
+        return raw
+
+    def add_array(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Vectorized signed addition (int64 arrays)."""
+        mask = (1 << self.width) - 1
+        raw = (a.astype(np.int64) + x.astype(np.int64)) & mask
+        raw = (raw & ~np.int64(self.stuck0)) | np.int64(self.stuck1)
+        neg = raw >= (1 << (self.width - 1))
+        return raw - (neg.astype(np.int64) << self.width)
+
+
+class DctHardware:
+    """Direct 2-D 8x8 DCT with per-cell final-stage adders.
+
+    Parameters
+    ----------
+    adders:
+        Mapping from cell (u, v) to its :class:`FaultyAdder`; missing
+        cells use exact adders.
+    frac_bits:
+        Fixed-point fraction bits of the coefficient constants.
+    """
+
+    def __init__(
+        self,
+        adders: Optional[Dict[Tuple[int, int], FaultyAdder]] = None,
+        frac_bits: int = FRAC_BITS,
+    ) -> None:
+        self.frac_bits = frac_bits
+        self.adders = dict(adders or {})
+        self._cmat = fixed_point_matrix(frac_bits)
+
+    def adder_at(self, u: int, v: int) -> FaultyAdder:
+        """The final-stage adder of output cell (u, v)."""
+        return self.adders.get((u, v), FaultyAdder.exact())
+
+    @property
+    def rs_sum(self) -> float:
+        """RS (Sum): total rate-significance over all faulty cells."""
+        return float(sum(a.rs for a in self.adders.values()))
+
+    # ------------------------------------------------------------------
+    def transform_blocks(self, blks: np.ndarray) -> np.ndarray:
+        """Fixed-point 2-D DCT of (N, 8, 8) pixel blocks.
+
+        Pixels are level-shifted by -128 as in JPEG.  The accumulation
+        runs exactly (as the fault-free tree would); the *final* adder
+        of each output cell combines the two halves of its 64-term
+        accumulation through the cell's (possibly faulty) adder.
+        Returns real-valued coefficients (the fixed-point scaling is
+        divided back out).
+        """
+        pix = blks.astype(np.int64) - 128
+        c = self._cmat  # (8, 8) integers, scale 2**frac_bits
+        # Per output cell (u, v): sum over x, y of C[u,x] * C[v,y] * pix[x,y].
+        # Split the 64-term sum into halves x<4 / x>=4, exactly like a
+        # balanced accumulation tree whose final node adds two partials.
+        kernel = np.einsum("ux,vy->uvxy", c, c)  # (8,8,8,8) int64
+        lo = np.einsum("uvxy,nxy->nuv", kernel[:, :, :4, :].astype(np.float64),
+                       pix[:, :4, :].astype(np.float64))
+        hi = np.einsum("uvxy,nxy->nuv", kernel[:, :, 4:, :].astype(np.float64),
+                       pix[:, 4:, :].astype(np.float64))
+        # Renormalize the partials to FINAL_FRAC fraction bits before
+        # the final-stage adders (arithmetic right shift).
+        shift = 2 * self.frac_bits - FINAL_FRAC
+        lo = np.right_shift(lo.astype(np.int64), shift)
+        hi = np.right_shift(hi.astype(np.int64), shift)
+        out = np.empty_like(lo)
+        for u in range(BLOCK):
+            for v in range(BLOCK):
+                adder = self.adder_at(u, v)
+                if adder.is_exact:
+                    out[:, u, v] = lo[:, u, v] + hi[:, u, v]
+                else:
+                    out[:, u, v] = adder.add_array(lo[:, u, v], hi[:, u, v])
+        return out.astype(np.float64) / (1 << FINAL_FRAC)

@@ -1,0 +1,338 @@
+"""JPEG-style image codec on top of an (exchangeable) DCT stage.
+
+Implements the Fig. 1 pipeline of the paper: 8x8 blocking, DCT,
+quantization (standard luminance table with quality scaling), zigzag
+scan, run-length coding of zero runs, and a canonical Huffman entropy
+coder -- plus the full inverse path.  The DCT stage is pluggable so the
+error-tolerance study can swap in the faulty
+:class:`~repro.dct.hardware.DctHardware` while quantization and
+Huffman coding stay fault-free, exactly as the paper assumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .hardware import DctHardware
+from .transform import BLOCK, blocks, dct2, idct2, unblocks
+
+__all__ = [
+    "BASE_QUANT",
+    "quant_table",
+    "zigzag_order",
+    "zigzag",
+    "unzigzag",
+    "rle_encode",
+    "rle_decode",
+    "HuffmanCodec",
+    "JpegCodec",
+    "EncodedImage",
+]
+
+#: The ISO/IEC 10918-1 example luminance quantization table.
+BASE_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def quant_table(quality: int = 90) -> np.ndarray:
+    """Quality-scaled quantization table (libjpeg convention)."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    table = (BASE_QUANT * scale + 50) // 100
+    return np.clip(table, 1, 255)
+
+
+def zigzag_order(n: int = BLOCK) -> List[Tuple[int, int]]:
+    """The JPEG zigzag scan order over an n x n block."""
+    order = []
+    for s in range(2 * n - 1):
+        coords = [(i, s - i) for i in range(max(0, s - n + 1), min(s, n - 1) + 1)]
+        if s % 2 == 0:
+            coords.reverse()  # even diagonals run bottom-left -> top-right
+        order.extend(coords)
+    return order
+
+
+_ZIGZAG = zigzag_order()
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 block in zigzag order."""
+    return np.array([block[i, j] for i, j in _ZIGZAG], dtype=block.dtype)
+
+
+def unzigzag(flat: Sequence[int]) -> np.ndarray:
+    """Inverse zigzag: rebuild the 8x8 block."""
+    block = np.zeros((BLOCK, BLOCK), dtype=np.int64)
+    for v, (i, j) in zip(flat, _ZIGZAG):
+        block[i, j] = v
+    return block
+
+
+# ----------------------------------------------------------------------
+# run-length layer (JPEG-style (run, value) pairs with EOB)
+# ----------------------------------------------------------------------
+EOB = ("EOB",)
+ZRL = ("ZRL",)
+
+
+def rle_encode(flat: Sequence[int]) -> List[Tuple]:
+    """Run-length encode one zigzagged block (DC included as-is).
+
+    Symbols: ``("DC", value)``, ``("AC", run, value)``, ``ZRL`` (16
+    zeros), ``EOB``.
+    """
+    symbols: List[Tuple] = [("DC", int(flat[0]))]
+    run = 0
+    last_nonzero = 0
+    ac = list(flat[1:])
+    for k in range(len(ac) - 1, -1, -1):
+        if ac[k] != 0:
+            last_nonzero = k + 1
+            break
+    for v in ac[:last_nonzero]:
+        if v == 0:
+            run += 1
+            if run == 16:
+                symbols.append(ZRL)
+                run = 0
+            continue
+        symbols.append(("AC", run, int(v)))
+        run = 0
+    if last_nonzero < len(ac):
+        symbols.append(EOB)
+    return symbols
+
+
+def rle_decode(symbols: Sequence[Tuple]) -> List[int]:
+    """Inverse of :func:`rle_encode`; returns the 64 zigzag values."""
+    if not symbols or symbols[0][0] != "DC":
+        raise ValueError("block must start with a DC symbol")
+    flat: List[int] = [int(symbols[0][1])]
+    for sym in symbols[1:]:
+        if sym == EOB:
+            break
+        if sym == ZRL:
+            flat.extend([0] * 16)
+            continue
+        _tag, run, v = sym
+        flat.extend([0] * run)
+        flat.append(int(v))
+    flat.extend([0] * (BLOCK * BLOCK - len(flat)))
+    if len(flat) != BLOCK * BLOCK:
+        raise ValueError("run-length data overflows the block")
+    return flat
+
+
+# ----------------------------------------------------------------------
+# canonical Huffman layer
+# ----------------------------------------------------------------------
+class HuffmanCodec:
+    """Canonical Huffman codec over hashable symbols.
+
+    Code lengths come from the classic heap construction on observed
+    frequencies; codes are assigned canonically (sorted by length then
+    symbol repr) so the table serializes compactly.
+    """
+
+    def __init__(self, lengths: Dict[object, int]) -> None:
+        if not lengths:
+            raise ValueError("empty Huffman alphabet")
+        self.lengths = dict(lengths)
+        self.codes: Dict[object, Tuple[int, int]] = {}
+        code = 0
+        prev_len = 0
+        for sym in sorted(self.lengths, key=lambda s: (self.lengths[s], repr(s))):
+            length = self.lengths[sym]
+            code <<= length - prev_len
+            self.codes[sym] = (code, length)
+            code += 1
+            prev_len = length
+        self._decode = {v: k for k, v in self.codes.items()}
+
+    @staticmethod
+    def from_frequencies(freqs: Dict[object, int]) -> "HuffmanCodec":
+        """Build from symbol frequencies (single-symbol alphabets get a
+        1-bit code)."""
+        if not freqs:
+            raise ValueError("no symbols to code")
+        if len(freqs) == 1:
+            return HuffmanCodec({next(iter(freqs)): 1})
+        heap = [(f, i, {s: 0}) for i, (s, f) in enumerate(sorted(freqs.items(), key=repr))]
+        heapq.heapify(heap)
+        counter = len(heap)
+        while len(heap) > 1:
+            fa, _ia, da = heapq.heappop(heap)
+            fb, _ib, db = heapq.heappop(heap)
+            merged = {s: l + 1 for s, l in da.items()}
+            merged.update({s: l + 1 for s, l in db.items()})
+            heapq.heappush(heap, (fa + fb, counter, merged))
+            counter += 1
+        return HuffmanCodec(heap[0][2])
+
+    def encode(self, symbols: Sequence[object]) -> Tuple[bytes, int]:
+        """Encode to (packed bytes, bit length).
+
+        Bits are emitted MSB-first; the final byte is zero-padded.  The
+        accumulator is flushed byte-by-byte so encoding stays linear in
+        the stream length.
+        """
+        out = bytearray()
+        acc = 0
+        nacc = 0
+        nbits = 0
+        for s in symbols:
+            code, length = self.codes[s]
+            acc = (acc << length) | code
+            nacc += length
+            nbits += length
+            while nacc >= 8:
+                nacc -= 8
+                out.append((acc >> nacc) & 0xFF)
+                acc &= (1 << nacc) - 1
+        if nacc:
+            out.append((acc << (8 - nacc)) & 0xFF)
+        if not out:
+            out.append(0)
+        return bytes(out), nbits
+
+    def decode(self, data: bytes, nbits: int) -> List[object]:
+        """Decode ``nbits`` of packed data back to symbols."""
+        out: List[object] = []
+        code = 0
+        length = 0
+        consumed = 0
+        table = self._decode
+        for byte in data:
+            if consumed >= nbits:
+                break
+            for k in range(7, -1, -1):
+                if consumed >= nbits:
+                    break
+                consumed += 1
+                code = (code << 1) | ((byte >> k) & 1)
+                length += 1
+                sym = table.get((code, length))
+                if sym is not None:
+                    out.append(sym)
+                    code = 0
+                    length = 0
+        if length:
+            raise ValueError("trailing bits do not form a valid code")
+        return out
+
+
+# ----------------------------------------------------------------------
+# full codec
+# ----------------------------------------------------------------------
+@dataclass
+class EncodedImage:
+    """A compressed image: entropy-coded data + side information."""
+
+    shape: Tuple[int, int]
+    quality: int
+    payload: bytes
+    payload_bits: int
+    codec: HuffmanCodec
+    symbols_per_block: List[int]
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Size of the entropy-coded payload in bytes."""
+        return (self.payload_bits + 7) // 8
+
+    def compression_ratio(self) -> float:
+        """Raw bytes / compressed payload bytes."""
+        raw = self.shape[0] * self.shape[1]
+        return raw / max(1, self.compressed_bytes)
+
+
+class JpegCodec:
+    """Grayscale JPEG-style codec with a pluggable DCT stage.
+
+    ``dct_stage`` maps (N, 8, 8) pixel blocks to (N, 8, 8) coefficient
+    arrays; the default is the exact floating-point DCT of the
+    level-shifted pixels.  Pass ``DctHardware(...).transform_blocks``
+    to encode through the faulty hardware model.
+    """
+
+    def __init__(
+        self,
+        quality: int = 90,
+        dct_stage: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        self.quality = quality
+        self.qtable = quant_table(quality)
+        self.dct_stage = dct_stage or self._reference_dct
+
+    @staticmethod
+    def _reference_dct(blks: np.ndarray) -> np.ndarray:
+        return dct2(blks.astype(np.float64) - 128.0)
+
+    # ------------------------------------------------------------------
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        """Compress a uint8 grayscale image."""
+        img = np.asarray(image)
+        blks = blocks(img)
+        coeffs = self.dct_stage(blks)
+        quantized = np.round(coeffs / self.qtable).astype(np.int64)
+        all_symbols: List[Tuple] = []
+        per_block: List[int] = []
+        for q in quantized:
+            syms = rle_encode(zigzag(q))
+            per_block.append(len(syms))
+            all_symbols.extend(syms)
+        freqs: Dict[object, int] = {}
+        for s in all_symbols:
+            freqs[s] = freqs.get(s, 0) + 1
+        codec = HuffmanCodec.from_frequencies(freqs)
+        payload, nbits = codec.encode(all_symbols)
+        return EncodedImage(
+            shape=img.shape,
+            quality=self.quality,
+            payload=payload,
+            payload_bits=nbits,
+            codec=codec,
+            symbols_per_block=per_block,
+        )
+
+    def decode(self, enc: EncodedImage) -> np.ndarray:
+        """Decompress back to a uint8 grayscale image."""
+        symbols = enc.codec.decode(enc.payload, enc.payload_bits)
+        blocks_out: List[np.ndarray] = []
+        pos = 0
+        for count in enc.symbols_per_block:
+            syms = symbols[pos : pos + count]
+            pos += count
+            flat = rle_decode(syms)
+            q = unzigzag(flat)
+            coeffs = q.astype(np.float64) * quant_table(enc.quality)
+            blocks_out.append(coeffs)
+        coeff_arr = np.stack(blocks_out)
+        pix = idct2(coeff_arr) + 128.0
+        img = unblocks(pix, enc.shape)
+        return np.clip(np.round(img), 0, 255).astype(np.uint8)
+
+    def roundtrip(self, image: np.ndarray) -> Tuple[np.ndarray, EncodedImage]:
+        """Encode then decode; returns (reconstruction, encoded)."""
+        enc = self.encode(image)
+        return self.decode(enc), enc

@@ -1,0 +1,93 @@
+"""8x8 two-dimensional DCT: floating-point reference and fixed-point
+coefficients.
+
+The JPEG pipeline (Fig. 1 of the paper) transforms each 8x8 pixel block
+with a type-II DCT.  ``dct2`` / ``idct2`` are the orthonormal reference
+implementations (validated against :mod:`scipy` in the test-suite);
+``fixed_point_matrix`` quantizes the basis to the integer coefficients
+a direct-2D hardware implementation would use.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "BLOCK",
+    "dct_matrix",
+    "dct2",
+    "idct2",
+    "fixed_point_matrix",
+    "blocks",
+    "unblocks",
+]
+
+#: JPEG block edge length.
+BLOCK = 8
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal type-II DCT matrix C (rows are basis vectors).
+
+    ``Y = C @ X @ C.T`` is the 2-D transform of a block X.
+    """
+    k = np.arange(n)
+    x = (2 * k + 1) / (2 * n)
+    c = np.cos(np.outer(k, x) * np.pi)
+    c *= np.sqrt(2.0 / n)
+    c[0] *= np.sqrt(0.5)
+    return c
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """2-D orthonormal DCT of one (or a batch of) 8x8 block(s).
+
+    Accepts shape (8, 8) or (N, 8, 8).
+    """
+    c = dct_matrix(BLOCK)
+    return c @ block @ c.T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D orthonormal DCT (same shapes as :func:`dct2`)."""
+    c = dct_matrix(BLOCK)
+    return c.T @ coeffs @ c
+
+
+def fixed_point_matrix(frac_bits: int = 8, n: int = BLOCK) -> np.ndarray:
+    """Integer DCT matrix: ``round(C * 2**frac_bits)``.
+
+    A direct 2-D hardware DCT multiplies pixels by these constants with
+    shift-add networks; the products carry ``2 * frac_bits`` fraction
+    bits after the row and column passes.
+    """
+    return np.round(dct_matrix(n) * (1 << frac_bits)).astype(np.int64)
+
+
+def blocks(image: np.ndarray) -> np.ndarray:
+    """Split an (H, W) image into (N, 8, 8) blocks, row-major.
+
+    H and W must be multiples of 8.
+    """
+    h, w = image.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError(f"image dimensions {image.shape} not multiples of {BLOCK}")
+    return (
+        image.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+        .swapaxes(1, 2)
+        .reshape(-1, BLOCK, BLOCK)
+    )
+
+
+def unblocks(blks: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`blocks` for the given image shape."""
+    h, w = shape
+    return (
+        blks.reshape(h // BLOCK, w // BLOCK, BLOCK, BLOCK)
+        .swapaxes(1, 2)
+        .reshape(h, w)
+    )

@@ -1,0 +1,23 @@
+"""Stuck-at fault model, fault lists, collapsing, multiple-fault sets."""
+
+from .model import Line, StuckAtFault, datapath_faults, enumerate_faults, enumerate_lines
+from .collapse import FaultClasses, checkpoint_faults, collapse_faults
+from .multiple import FAULT_ENABLE, inject_faults, transform_to_single
+from .bridging import BridgingFault, inject_bridging, sample_bridging_faults
+
+__all__ = [
+    "Line",
+    "StuckAtFault",
+    "enumerate_lines",
+    "enumerate_faults",
+    "datapath_faults",
+    "FaultClasses",
+    "collapse_faults",
+    "checkpoint_faults",
+    "inject_faults",
+    "transform_to_single",
+    "FAULT_ENABLE",
+    "BridgingFault",
+    "inject_bridging",
+    "sample_bridging_faults",
+]

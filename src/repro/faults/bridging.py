@@ -1,0 +1,132 @@
+"""Bridging (short) fault model.
+
+The paper's ES-ATPG reference ([6], "Threshold testing: covering
+bridging and other realistic faults") extends error-tolerance analysis
+beyond stuck-at defects; this module provides the standard bridging
+models so defect populations and acceptance testing can include
+realistic shorts:
+
+* **wired-AND / wired-OR** -- both shorted nets take the AND/OR of
+  their driven values;
+* **dominant** -- the aggressor net overwrites the victim.
+
+A bridge is injected by *circuit transformation* (like
+:func:`repro.faults.multiple.inject_faults`): the resolution function
+is synthesized as new gates and every consumer of the shorted nets is
+rewired to the resolved values.  Bridges between nets on a common path
+(one in the other's transitive fanout) would create feedback and are
+rejected -- the standard combinational-bridging restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit, GateType
+from ..circuit.netlist import CircuitError
+from ..circuit.structure import transitive_fanout
+
+__all__ = ["BridgingFault", "inject_bridging", "sample_bridging_faults"]
+
+_KINDS = ("wired_and", "wired_or", "dominant_a", "dominant_b")
+
+
+@dataclass(frozen=True)
+class BridgingFault:
+    """A short between two nets.
+
+    ``kind``: ``wired_and`` | ``wired_or`` | ``dominant_a`` (net a
+    drives both) | ``dominant_b``.
+    """
+
+    net_a: str
+    net_b: str
+    kind: str = "wired_and"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown bridging kind {self.kind!r}")
+        if self.net_a == self.net_b:
+            raise ValueError("a net cannot be bridged to itself")
+
+    def __str__(self) -> str:
+        return f"bridge({self.net_a}, {self.net_b}, {self.kind})"
+
+
+def inject_bridging(circuit: Circuit, bridges: Sequence[BridgingFault]) -> Circuit:
+    """Return a copy of ``circuit`` with the bridges wired in.
+
+    Each bridge replaces the values seen by all consumers (gate pins
+    and primary-output references) of the two nets with the resolved
+    values.  Raises :class:`CircuitError` for feedback-creating pairs.
+    """
+    out = circuit.copy(f"{circuit.name}+bridge")
+    for k, br in enumerate(bridges):
+        for net in (br.net_a, br.net_b):
+            if not out.has_signal(net):
+                raise CircuitError(f"{br}: net {net!r} not in circuit")
+        tfo_a = transitive_fanout(out, br.net_a, include_self=True)
+        tfo_b = transitive_fanout(out, br.net_b, include_self=True)
+        if br.net_b in tfo_a or br.net_a in tfo_b:
+            raise CircuitError(f"{br}: nets lie on a common path (feedback)")
+
+        a, b = br.net_a, br.net_b
+        if br.kind == "wired_and":
+            res_a = out.add_gate(f"__br{k}_a", GateType.AND, (a, b))
+            res_b = res_a
+        elif br.kind == "wired_or":
+            res_a = out.add_gate(f"__br{k}_a", GateType.OR, (a, b))
+            res_b = res_a
+        elif br.kind == "dominant_a":
+            res_a = a
+            res_b = out.add_gate(f"__br{k}_b", GateType.BUF, (a,))
+        else:  # dominant_b
+            res_b = b
+            res_a = out.add_gate(f"__br{k}_a", GateType.BUF, (b,))
+
+        for net, res in ((a, res_a), (b, res_b)):
+            if res == net:
+                continue
+            for gname, pin in list(out.fanout_map().get(net, ())):
+                if gname.startswith(f"__br{k}_"):
+                    continue  # the resolver itself reads the raw net
+                out.rewire_pin(gname, pin, res)
+            if out.is_output(net):
+                out.rename_output(net, res)
+    out.validate()
+    return out
+
+
+def sample_bridging_faults(
+    circuit: Circuit,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+    kinds: Sequence[str] = _KINDS,
+    max_tries: int = 200,
+) -> List[BridgingFault]:
+    """Draw random feasible (non-feedback) bridging faults.
+
+    Net pairs are sampled uniformly; pairs on a common path are
+    rejected and redrawn.  Physical adjacency is not modelled (no
+    layout exists), matching the usual netlist-level bridging studies.
+    """
+    rng = rng or np.random.default_rng()
+    signals = [s for s in circuit.signals()]
+    out: List[BridgingFault] = []
+    tries = 0
+    while len(out) < count and tries < max_tries * max(1, count):
+        tries += 1
+        i, j = rng.choice(len(signals), size=2, replace=False)
+        a, b = signals[int(i)], signals[int(j)]
+        tfo_a = transitive_fanout(circuit, a, include_self=True)
+        if b in tfo_a:
+            continue
+        tfo_b = transitive_fanout(circuit, b, include_self=True)
+        if a in tfo_b:
+            continue
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        out.append(BridgingFault(a, b, kind))
+    return out

@@ -1,0 +1,154 @@
+"""Structural fault collapsing.
+
+Classical equivalence collapsing over the single-stuck-at fault list:
+for an AND gate, any input SA0 is indistinguishable from the output
+SA0; for a NAND, input SA0 is equivalent to output SA1; and so on for
+OR/NOR/NOT/BUF.  Faults in one equivalence class have identical tests,
+ER, and ES, so ATPG and metric estimation only need one representative
+per class.
+
+The greedy simplification loop deliberately works on the *uncollapsed*
+list -- equivalent faults produce the same Boolean change but different
+amounts of removable logic -- but collapsing drives the redundancy
+identification pass and keeps the test-suite's exhaustive comparisons
+tractable.
+
+Also provided: checkpoint faults (primary inputs + fanout branches),
+the classical dominance-based reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..circuit import Circuit, GateType
+from .model import Line, StuckAtFault, enumerate_faults
+
+__all__ = ["FaultClasses", "collapse_faults", "checkpoint_faults"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[StuckAtFault, StuckAtFault] = {}
+
+    def find(self, x: StuckAtFault) -> StuckAtFault:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: StuckAtFault, b: StuckAtFault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class FaultClasses:
+    """Result of equivalence collapsing.
+
+    ``representatives`` holds one fault per class; ``class_of`` maps any
+    fault to its representative; ``members`` maps a representative to
+    the full class.
+    """
+
+    def __init__(self, classes: Dict[StuckAtFault, List[StuckAtFault]]) -> None:
+        self.members = classes
+        self.class_of: Dict[StuckAtFault, StuckAtFault] = {}
+        for rep, mem in classes.items():
+            for f in mem:
+                self.class_of[f] = rep
+
+    @property
+    def representatives(self) -> List[StuckAtFault]:
+        return list(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def _input_line(circuit: Circuit, gate_name: str, pin: int, src: str) -> Line:
+    """The fault line seen at one gate input pin.
+
+    A distinct branch line exists only when the source signal has more
+    than one consumer; otherwise the pin is electrically the stem.
+    """
+    if circuit.consumer_count(src) > 1:
+        return Line(src, gate_name, pin)
+    return Line(src)
+
+
+def collapse_faults(
+    circuit: Circuit, faults: Sequence[StuckAtFault] | None = None
+) -> FaultClasses:
+    """Equivalence-collapse a fault list (defaults to the full list)."""
+    if faults is None:
+        faults = enumerate_faults(circuit)
+    fault_set = set(faults)
+    uf = _UnionFind()
+    for f in faults:
+        uf.find(f)
+
+    def maybe_union(a: StuckAtFault, b: StuckAtFault) -> None:
+        if a in fault_set and b in fault_set:
+            uf.union(a, b)
+
+    for gname, gate in circuit.gates.items():
+        out0 = StuckAtFault(Line(gname), 0)
+        out1 = StuckAtFault(Line(gname), 1)
+        in_lines = [
+            _input_line(circuit, gname, pin, src) for pin, src in enumerate(gate.inputs)
+        ]
+        if gate.gtype is GateType.AND:
+            for l in in_lines:
+                maybe_union(StuckAtFault(l, 0), out0)
+        elif gate.gtype is GateType.NAND:
+            for l in in_lines:
+                maybe_union(StuckAtFault(l, 0), out1)
+        elif gate.gtype is GateType.OR:
+            for l in in_lines:
+                maybe_union(StuckAtFault(l, 1), out1)
+        elif gate.gtype is GateType.NOR:
+            for l in in_lines:
+                maybe_union(StuckAtFault(l, 1), out0)
+        elif gate.gtype is GateType.NOT:
+            maybe_union(StuckAtFault(in_lines[0], 0), out1)
+            maybe_union(StuckAtFault(in_lines[0], 1), out0)
+        elif gate.gtype is GateType.BUF:
+            maybe_union(StuckAtFault(in_lines[0], 0), out0)
+            maybe_union(StuckAtFault(in_lines[0], 1), out1)
+        # XOR/XNOR and constants: no structural equivalences.
+
+    classes: Dict[StuckAtFault, List[StuckAtFault]] = {}
+    for f in faults:
+        classes.setdefault(uf.find(f), []).append(f)
+    # Deterministic representatives: smallest member of each class.
+    ordered: Dict[StuckAtFault, List[StuckAtFault]] = {}
+    for mem in classes.values():
+        mem_sorted = sorted(mem)
+        ordered[mem_sorted[0]] = mem_sorted
+    return FaultClasses(ordered)
+
+
+def checkpoint_faults(circuit: Circuit) -> List[StuckAtFault]:
+    """Checkpoint fault list: both polarities on every primary input and
+    every fanout branch.
+
+    By the checkpoint theorem, a test set detecting all checkpoint
+    faults detects all single stuck-at faults in a fanout-free
+    reconvergent structure built from primitive gates.
+    """
+    faults: List[StuckAtFault] = []
+    for pi in circuit.inputs:
+        faults.append(StuckAtFault(Line(pi), 0))
+        faults.append(StuckAtFault(Line(pi), 1))
+    fan = circuit.fanout_map()
+    for signal, consumers in fan.items():
+        if circuit.consumer_count(signal) <= 1:
+            continue
+        for gate_name, pin in consumers:
+            faults.append(StuckAtFault(Line(signal, gate_name, pin), 0))
+            faults.append(StuckAtFault(Line(signal, gate_name, pin), 1))
+    return faults

@@ -1,0 +1,154 @@
+"""Multiple-fault sets and the Fig. 7 single-fault transformation.
+
+The paper's ES ATPG runs on the *original* circuit with the multiple
+fault set accumulated so far (Section IV.A).  Two mechanisms support
+that:
+
+* :func:`inject_faults` -- build an explicitly faulty copy of a circuit
+  by splicing constant drivers onto the faulty lines.  The result is
+  *behaviourally* identical to the fault being present (no
+  simplification is performed), which gives the test-suite an
+  independent reference for the simplification engine.
+
+* :func:`transform_to_single` -- the construction of Fig. 7 (after Kim,
+  Saluja & Agrawal): every faulty line gets a small enable network
+  driven by a fresh primary input ``fault_en`` such that the whole
+  multiple-fault set is equivalent to the *single* fault
+  ``fault_en`` stuck-at-1 in the transformed circuit.  Any single-fault
+  ATPG can then target a multiple fault directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..circuit import Circuit, GateType
+from ..circuit.netlist import CircuitError
+from .model import Line, StuckAtFault
+
+__all__ = ["inject_faults", "transform_to_single", "FAULT_ENABLE"]
+
+#: Name of the enable input added by :func:`transform_to_single`.
+FAULT_ENABLE = "fault_en"
+
+
+def _fresh(circuit: Circuit, base: str) -> str:
+    """A signal name not yet used in ``circuit``."""
+    if not circuit.has_signal(base):
+        return base
+    i = 0
+    while circuit.has_signal(f"{base}_{i}"):
+        i += 1
+    return f"{base}_{i}"
+
+
+def inject_faults(circuit: Circuit, faults: Iterable[StuckAtFault]) -> Circuit:
+    """Return a copy of ``circuit`` with the faults hard-wired in.
+
+    * Stem fault on a gate output: the driving gate is replaced by a
+      constant (its old fanin cone is left in place, unsimplified).
+    * Stem fault on a primary input: every consumer (gate pin or PO
+      reference) is rewired to a constant driver.
+    * Branch fault: only the named gate pin is rewired to a constant.
+
+    The copy computes exactly the faulty function; it is *not* the
+    simplified circuit (see :mod:`repro.simplify` for that).
+    """
+    out = circuit.copy(f"{circuit.name}+faults")
+    const_cache: Dict[int, str] = {}
+
+    def const_signal(value: int) -> str:
+        if value not in const_cache:
+            name = _fresh(out, f"const{value}")
+            out.add_gate(name, GateType.CONST1 if value else GateType.CONST0, ())
+            const_cache[value] = name
+        return const_cache[value]
+
+    # Multiple-fault semantics: every faulty line holds its own stuck
+    # value, so branch faults are wired first (their pins must keep the
+    # branch value even when the driving stem is also stuck) and stem
+    # faults are applied afterwards to whatever still references them.
+    stems: List[StuckAtFault] = []
+    seen: Dict[object, int] = {}
+    branch_faults: List[StuckAtFault] = []
+    for f in faults:
+        key = f.line
+        if seen.get(key, f.value) != f.value:
+            raise CircuitError(f"contradictory faults on line {key}")
+        seen[key] = f.value
+        (branch_faults if f.line.is_branch else stems).append(f)
+
+    for f in branch_faults:
+        line = f.line
+        gate = circuit.gates.get(line.gate)
+        if gate is None:
+            raise CircuitError(f"fault {f}: gate {line.gate!r} not in circuit")
+        if line.pin >= len(gate.inputs) or gate.inputs[line.pin] != line.signal:
+            raise CircuitError(f"fault {f}: pin does not match netlist")
+        out.rewire_pin(line.gate, line.pin, const_signal(f.value))
+
+    for f in stems:
+        line = f.line
+        if out.is_input(line.signal):
+            cname = const_signal(f.value)
+            for gname, pin in list(out.fanout_map().get(line.signal, ())):
+                out.rewire_pin(gname, pin, cname)
+            if out.is_output(line.signal):
+                # Preserve the PO name with a buffer off the constant.
+                alias = _fresh(out, f"{line.signal}_faulty")
+                out.add_gate(alias, GateType.BUF, (cname,))
+                out.rename_output(line.signal, alias)
+        else:
+            if line.signal not in out.gates:
+                raise CircuitError(f"fault {f}: signal {line.signal!r} not in circuit")
+            out.tie_constant(line.signal, f.value)
+    # Dead gates may remain (their outputs feed nothing); that is fine
+    # behaviourally and intentional here.
+    out.validate()
+    return out
+
+
+def transform_to_single(
+    circuit: Circuit, faults: Sequence[StuckAtFault]
+) -> Tuple[Circuit, StuckAtFault]:
+    """Fig. 7: reduce a multiple fault to a single fault.
+
+    For each fault site, the faulty line value ``v`` is replaced by
+
+    * ``v OR  en``        for a stuck-at-1 site,
+    * ``v AND (NOT en)``  for a stuck-at-0 site,
+
+    where ``en`` is a fresh primary input.  With ``en = 0`` the
+    transformed circuit computes the original function; the single
+    stuck-at-1 fault on ``en`` makes it compute the multiple-faulty
+    function.  Returns the transformed circuit and that single fault.
+
+    A vector tests the multiple fault in the original circuit iff the
+    same vector extended with ``en = 0`` tests the returned fault.
+    """
+    out = circuit.copy(f"{circuit.name}+single")
+    en = _fresh(out, FAULT_ENABLE)
+    out.add_input(en)
+    nen = _fresh(out, f"{en}_n")
+    out.add_gate(nen, GateType.NOT, (en,))
+
+    for k, f in enumerate(faults):
+        line = f.line
+        mod_name = _fresh(out, f"fsite{k}")
+        if f.value == 1:
+            out.add_gate(mod_name, GateType.OR, (line.signal, en))
+        else:
+            out.add_gate(mod_name, GateType.AND, (line.signal, nen))
+        if line.is_branch:
+            out.rewire_pin(line.gate, line.pin, mod_name)
+        else:
+            # Redirect every consumer of the stem (except the enable
+            # network just added) to the modified signal.
+            for gname, pin in list(out.fanout_map().get(line.signal, ())):
+                if gname == mod_name:
+                    continue
+                out.rewire_pin(gname, pin, mod_name)
+            if out.is_output(line.signal):
+                out.rename_output(line.signal, mod_name)
+    out.validate()
+    return out, StuckAtFault(Line(en), 1)

@@ -1,0 +1,6 @@
+"""Error-tolerance metrics (ER / ES / RS) and their estimators."""
+
+from .errors import ErrorMetrics, rs_max, rs_percent
+from .estimate import MetricsEstimator
+
+__all__ = ["ErrorMetrics", "MetricsEstimator", "rs_max", "rs_percent"]

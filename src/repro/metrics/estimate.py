@@ -1,0 +1,283 @@
+"""ER/ES/RS estimation for circuit versions (Section IV.A).
+
+:class:`MetricsEstimator` is bound to an original circuit and a fixed
+vector batch (10,000 random vectors by default, exhaustive on request).
+It measures any *approximate version* of that circuit -- either the
+same netlist with stuck-at faults injected, or a different (e.g.
+simplified) netlist -- by differential bit-parallel simulation:
+
+* **ER** is the fraction of batch vectors with any output mismatch;
+* **observed ES** is the largest weighted deviation in the batch -- a
+  lower bound on the true ES;
+* **ES** is, depending on ``es_mode``:
+
+  - ``"simulated"`` -- the observed value (fast, optimistic),
+  - ``"atpg"``      -- the conservative power-of-two value from the
+    threshold ES ATPG seeded with the observed lower bound (the
+    paper's method),
+  - ``"exact"``     -- the observed value on an exhaustive batch
+    (small circuits only; the estimator must have been built with
+    ``exhaustive=True``).
+
+Outputs of an approximate netlist are paired with the original's
+positionally, so renamed constant-tied outputs keep contributing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..atpg.es_atpg import EsAtpg, EsStatus
+from ..circuit import Circuit
+from ..faults.model import StuckAtFault
+from ..simulation.logicsim import LogicSimulator, SimResult
+from ..simulation.vectors import exhaustive_vectors, pack_vectors, random_vectors
+from .errors import ErrorMetrics, rs_max
+
+__all__ = ["MetricsEstimator"]
+
+
+class MetricsEstimator:
+    """Differential ER/ES/RS measurement against one original circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        num_vectors: int = 10_000,
+        seed: int = 0,
+        value_outputs: Optional[Sequence[str]] = None,
+        exhaustive: bool = False,
+        atpg_node_limit: int = 20_000,
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.exhaustive = exhaustive
+        if exhaustive:
+            self.vectors = exhaustive_vectors(len(circuit.inputs))
+        else:
+            rng = np.random.default_rng(seed)
+            self.vectors = random_vectors(len(circuit.inputs), num_vectors, rng)
+        self.num_vectors = self.vectors.shape[0]
+        self.packed = pack_vectors(self.vectors)
+        self.atpg_node_limit = atpg_node_limit
+
+        if value_outputs is not None:
+            self.value_outputs = tuple(value_outputs)
+        elif circuit.data_outputs:
+            self.value_outputs = tuple(circuit.data_outputs)
+        else:
+            self.value_outputs = tuple(circuit.outputs)
+        self.weights = [int(circuit.output_weights.get(o, 1)) for o in self.value_outputs]
+        self.rs_maximum = rs_max(circuit, self.value_outputs)
+        # positions of value outputs within the output list (for pairing)
+        self._value_pos = [circuit.outputs.index(o) for o in self.value_outputs]
+
+        self._good_sim = LogicSimulator(circuit)
+        self._good = self._good_sim.run_packed(self.packed, self.num_vectors)
+        self._good_words = [self._good.words_for(o) for o in circuit.outputs]
+        self._good_value_bits = self._good.output_bits(self.value_outputs)
+        self._sim_cache: Dict[int, LogicSimulator] = {}
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        approx: Optional[Circuit] = None,
+        faults: Sequence[StuckAtFault] = (),
+        es_mode: str = "atpg",
+    ) -> ErrorMetrics:
+        """Measure an approximate version of the original circuit.
+
+        ``approx`` is a different netlist (defaults to the original);
+        ``faults`` are injected into its simulation.  The combination
+        (approx netlist + fault set) defines the faulty machine, exactly
+        as the greedy loop needs when ranking candidate faults on the
+        current simplified circuit.
+        """
+        er, observed = self.simulate(approx=approx, faults=faults)
+        if es_mode == "simulated":
+            es = observed
+        elif es_mode == "exact":
+            if not self.exhaustive:
+                raise ValueError('es_mode="exact" requires an exhaustive estimator')
+            es = observed
+        elif es_mode == "atpg":
+            atpg = EsAtpg(
+                self.circuit,
+                faulty=approx,
+                faults=faults,
+                value_outputs=self.value_outputs,
+                node_limit=self.atpg_node_limit,
+            )
+            es = atpg.estimate_es(observed_lower_bound=observed)
+        else:
+            raise ValueError(f"unknown es_mode {es_mode!r}")
+        return ErrorMetrics(
+            er=er,
+            es=es,
+            observed_es=observed,
+            rs_maximum=self.rs_maximum,
+            num_vectors=self.num_vectors,
+            es_mode=es_mode,
+        )
+
+    # ------------------------------------------------------------------
+    def check_rs(
+        self,
+        rs_threshold: float,
+        approx: Optional[Circuit] = None,
+        faults: Sequence[StuckAtFault] = (),
+        use_atpg: bool = True,
+        node_limit: Optional[int] = None,
+        pow2_es: bool = False,
+        structural_reference: Optional[Circuit] = None,
+    ) -> Tuple[bool, ErrorMetrics]:
+        """Decide whether an approximate version satisfies an RS budget.
+
+        Much cheaper than a full ES sweep: after the differential
+        simulation, a *single* ATPG threshold query at
+        ``T* = floor(rs_threshold / ER) + 1`` settles the question --
+        UNSAT proves ``ES <= T*-1`` hence ``RS <= rs_threshold``, while
+        SAT proves ``RS > rs_threshold``.  Aborted queries reject
+        conservatively.  With ``use_atpg=False`` the decision uses the
+        simulated (observed) ES only.
+
+        ``pow2_es`` reproduces the paper's conservatism: ES is rounded
+        up to the next power of two before the comparison (the paper's
+        sweep only resolves ES to powers of two), which rejects more
+        faults and yields smaller-but-safer simplifications.
+
+        ``structural_reference`` optionally names a circuit *proven*
+        functionally identical to the original (e.g. the result of a
+        redundancy-removal prepass).  The ATPG's good machine and its
+        affected-output cone analysis then use this netlist, so
+        function-preserving restructurings do not spuriously widen the
+        search; ER/observed-ES are still measured against the original.
+
+        Returns ``(accepted, metrics)``; ``metrics.es`` carries the
+        observed ES and ``metrics.es_bound`` the proven ceiling when
+        the ATPG refuted the threshold.
+        """
+
+        def make(es_bound: Optional[int]) -> ErrorMetrics:
+            return ErrorMetrics(
+                er=er,
+                es=observed,
+                observed_es=observed,
+                rs_maximum=self.rs_maximum,
+                num_vectors=self.num_vectors,
+                es_mode="hybrid" if use_atpg else "simulated",
+                es_bound=es_bound,
+            )
+
+        def pow2ceil(v: int) -> int:
+            return 1 << (v - 1).bit_length() if v > 1 else v
+
+        er, observed = self.simulate(approx=approx, faults=faults)
+        es_obs_eff = pow2ceil(observed) if pow2_es else observed
+        if er <= 0.0:
+            # No deviation on the batch: RS estimate is 0 (the paper's
+            # ER is likewise a sampled estimate).
+            return True, make(observed)
+        if er * es_obs_eff > rs_threshold:
+            return False, make(None)
+        if not use_atpg:
+            return True, make(None)
+        t_star = int(rs_threshold / er) + 1
+        if t_star <= observed:
+            return False, make(None)
+        good_ckt = structural_reference if structural_reference is not None else self.circuit
+        good_value_outputs = [good_ckt.outputs[p] for p in self._value_pos]
+        atpg = EsAtpg(
+            good_ckt,
+            faulty=approx,
+            faults=faults,
+            value_outputs=good_value_outputs,
+            node_limit=node_limit or self.atpg_node_limit,
+        )
+        res = atpg.decide(t_star)
+        if res.status is EsStatus.UNSAT:
+            # An exact-path refutation also pins down the true ES.
+            bound = res.deviation if res.deviation is not None else t_star - 1
+            if pow2_es and er * pow2ceil(max(bound, observed, 1)) > rs_threshold:
+                return False, make(bound)
+            return True, make(bound)
+        return False, make(None)
+
+    # ------------------------------------------------------------------
+    def exact_error_rate(
+        self,
+        approx: Optional[Circuit] = None,
+        faults: Sequence[StuckAtFault] = (),
+        node_limit: int = 500_000,
+    ) -> float:
+        """Exact ER via BDD model counting (no sampling error).
+
+        Tractable when the circuit's BDD stays within ``node_limit``
+        nodes; raises :class:`repro.bdd.BddLimitExceeded` otherwise so
+        callers can fall back to :meth:`simulate`.
+        """
+        from ..bdd import exact_error_rate
+
+        return exact_error_rate(
+            self.circuit, approx=approx, faults=faults, node_limit=node_limit
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        approx: Optional[Circuit] = None,
+        faults: Sequence[StuckAtFault] = (),
+    ) -> Tuple[float, int]:
+        """Differential simulation only: returns (ER, observed ES)."""
+        target = approx if approx is not None else self.circuit
+        sim = self._simulator_for(target)
+        res = sim.run_packed(self.packed, self.num_vectors, faults)
+        return self._compare(target, res)
+
+    def _simulator_for(self, target: Circuit) -> LogicSimulator:
+        key = id(target)
+        sim = self._sim_cache.get(key)
+        if sim is None or sim.circuit is not target:
+            sim = LogicSimulator(target)
+            self._sim_cache = {key: sim}  # keep only the latest netlist
+        return sim
+
+    def _compare(self, target: Circuit, res: SimResult) -> Tuple[float, int]:
+        if len(target.outputs) != len(self.circuit.outputs):
+            raise ValueError("approximate circuit must preserve the output count")
+        # detection over all (positionally paired) outputs
+        detect: Optional[np.ndarray] = None
+        for pos, o in enumerate(target.outputs):
+            diff = np.bitwise_xor(self._good_words[pos], res.words_for(o))
+            detect = diff if detect is None else np.bitwise_or(detect, diff)
+        if detect is None:
+            return 0.0, 0
+        from ..simulation.vectors import unpack_vectors
+
+        detected = unpack_vectors(detect[None, :], self.num_vectors)[:, 0]
+        er = float(np.count_nonzero(detected)) / self.num_vectors
+
+        value_names = [target.outputs[p] for p in self._value_pos]
+        fbits = res.output_bits(value_names)
+        delta = fbits.astype(np.int8) - self._good_value_bits.astype(np.int8)
+        observed = _max_abs_weighted(delta, self.weights)
+        return er, observed
+
+
+def _max_abs_weighted(delta: np.ndarray, weights: List[int]) -> int:
+    """Largest |delta . weights| over rows, exact for arbitrary weights."""
+    if delta.size == 0:
+        return 0
+    max_weight = max(weights) if weights else 1
+    if max_weight * max(1, len(weights)) < (1 << 53):
+        wvec = np.asarray(weights, dtype=np.float64)
+        vals = np.abs(delta @ wvec)
+        return int(vals.max())
+    best = 0
+    for row in delta:
+        v = abs(sum(w * int(d) for w, d in zip(weights, row) if d))
+        if v > best:
+            best = v
+    return best

@@ -1,0 +1,34 @@
+"""Circuit simplification: Table I engine, greedy heuristic, baselines."""
+
+from .tables import TABLE_I, Rule, identity_value, rule_for, shrink_type
+from .engine import (
+    Overlay,
+    preview_area_reduction,
+    simplify_with_fault,
+    simplify_with_faults,
+)
+from .cleanup import full_cleanup, propagate_constants, remove_dead_logic, splice_buffers
+from .redundancy import RedundancyRemovalResult, remove_redundancies
+from .greedy import GreedyConfig, GreedyResult, IterationRecord, circuit_simplify
+
+__all__ = [
+    "TABLE_I",
+    "Rule",
+    "rule_for",
+    "identity_value",
+    "shrink_type",
+    "Overlay",
+    "simplify_with_fault",
+    "simplify_with_faults",
+    "preview_area_reduction",
+    "full_cleanup",
+    "propagate_constants",
+    "remove_dead_logic",
+    "splice_buffers",
+    "RedundancyRemovalResult",
+    "remove_redundancies",
+    "GreedyConfig",
+    "GreedyResult",
+    "IterationRecord",
+    "circuit_simplify",
+]

@@ -1,0 +1,145 @@
+"""Standalone netlist cleanup passes.
+
+The overlay engine already produces clean netlists; these passes exist
+for circuits arriving from other sources (hand-written ``.bench``
+files, behavioural fault injection) and as building blocks for the
+classical redundancy-removal baseline:
+
+* :func:`remove_dead_logic` -- delete gates whose outputs reach no
+  primary output (the backward-simplification step, applied globally);
+* :func:`splice_buffers`   -- re-route consumers of BUF gates to the
+  buffered source and delete buffers that are not primary outputs;
+* :func:`propagate_constants` -- apply the Table I rules wherever a
+  constant driver feeds a gate, to fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..circuit import Circuit, GateType
+from ..circuit.gates import constant_value, is_constant
+from .tables import identity_value, rule_for, shrink_type
+
+__all__ = ["remove_dead_logic", "splice_buffers", "propagate_constants", "full_cleanup"]
+
+
+def remove_dead_logic(circuit: Circuit) -> List[str]:
+    """Delete every gate with no path to a primary output (in place).
+
+    Returns the names of removed gates.
+    """
+    fan = circuit.fanout_map()
+    alive: Set[str] = set()
+    stack = list(circuit.outputs)
+    while stack:
+        s = stack.pop()
+        if s in alive:
+            continue
+        alive.add(s)
+        g = circuit.driver(s)
+        if g is not None:
+            stack.extend(src for src in g.inputs if src not in alive)
+    removed = [name for name in circuit.gates if name not in alive]
+    # Delete in reverse topological order so fanout checks stay clean.
+    order = circuit.topological_order()
+    for name in reversed(order):
+        if name in alive:
+            continue
+        circuit.remove_gate(name)
+    return removed
+
+
+def splice_buffers(circuit: Circuit) -> int:
+    """Bypass BUF gates (in place); returns the number spliced.
+
+    Buffers that drive a primary output are kept (the PO must keep its
+    name) unless their source is itself a valid replacement is not
+    attempted -- POs never change names here.
+    """
+    spliced = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in list(circuit.gates):
+            g = circuit.gates.get(name)
+            if g is None or g.gtype is not GateType.BUF:
+                continue
+            src = g.inputs[0]
+            consumers = list(circuit.fanout_map().get(name, ()))
+            for gname, pin in consumers:
+                circuit.rewire_pin(gname, pin, src)
+                changed = True
+            if not circuit.is_output(name) and not circuit.fanout_map().get(name):
+                circuit.remove_gate(name)
+                spliced += 1
+                changed = True
+    return spliced
+
+
+def propagate_constants(circuit: Circuit) -> int:
+    """Fold constants through the netlist per Table I (in place).
+
+    Returns the number of gates rewritten.  One topological sweep per
+    round; rounds repeat until a fixpoint (constants only flow forward,
+    so two rounds suffice in practice).
+    """
+    rewritten = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in circuit.topological_order():
+            g = circuit.gates.get(name)
+            if g is None or is_constant(g.gtype):
+                continue
+            const_pins: List[Tuple[int, int]] = []
+            for pin, src in enumerate(g.inputs):
+                v = circuit.constant_output_value(src)
+                if v is not None:
+                    const_pins.append((pin, v))
+            if not const_pins:
+                continue
+            gt = g.gtype
+            folded = None
+            keep: List[str] = list(g.inputs)
+            drop_pins: Set[int] = set()
+            for pin, v in const_pins:
+                rule = rule_for(gt, v)
+                if rule.action == "FOLD":
+                    folded = rule.output
+                    break
+                drop_pins.add(pin)
+                if rule.flip:
+                    gt = GateType.XNOR if gt is GateType.XOR else GateType.XOR
+            if folded is not None:
+                circuit.replace_gate(
+                    name, GateType.CONST1 if folded else GateType.CONST0, ()
+                )
+                rewritten += 1
+                changed = True
+                continue
+            remaining = [s for p, s in enumerate(keep) if p not in drop_pins]
+            if not remaining:
+                v = identity_value(gt)
+                circuit.replace_gate(name, GateType.CONST1 if v else GateType.CONST0, ())
+            elif len(remaining) == 1 and gt not in (GateType.NOT, GateType.BUF):
+                circuit.replace_gate(name, shrink_type(gt), remaining)
+            else:
+                circuit.replace_gate(name, gt, remaining)
+            rewritten += 1
+            changed = True
+    return rewritten
+
+
+def full_cleanup(circuit: Circuit) -> Dict[str, int]:
+    """Constants, buffers, dead logic -- to fixpoint.  Returns counts."""
+    stats = {"constants_folded": 0, "buffers_spliced": 0, "dead_removed": 0}
+    while True:
+        a = propagate_constants(circuit)
+        b = splice_buffers(circuit)
+        c = len(remove_dead_logic(circuit))
+        stats["constants_folded"] += a
+        stats["buffers_spliced"] += b
+        stats["dead_removed"] += c
+        if a == b == c == 0:
+            return stats

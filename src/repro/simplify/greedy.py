@@ -1,0 +1,462 @@
+"""The greedy area-reduction heuristic (Fig. 6 of the paper).
+
+``circuit_simplify`` iterates: evaluate a figure of merit (FOM) for the
+candidate single stuck-at faults of the *current* simplified circuit,
+inject the best one, re-measure ER/ES/RS of the cumulative
+simplification against the *original* circuit, and repeat until the RS
+threshold would be violated.  Exactly as in Section IV:
+
+* ER is re-estimated for the whole accumulated change by differential
+  parallel fault simulation (never composed from single-fault ERs);
+* ES is re-estimated against the original circuit -- by observed
+  deviation for candidate ranking, and by the conservative threshold
+  ATPG for the commit decision (``es_mode="hybrid"``, the default);
+* both paper FOMs are available: plain area reduction (``"area"``) and
+  area reduction per unit of added RS (``"area_per_rs"``); the Table II
+  experiment reports the better of the two.
+
+Engineering notes (documented deviations, see DESIGN.md): candidate
+ranking uses the simulated ES (the ATPG would be run p times per
+iteration otherwise), and each iteration evaluates the
+``candidate_limit`` most promising candidates, pre-ranked by a cheap
+structural proxy (previewed area gain over the reachable-output weight
+bound).  Set ``candidate_limit=None`` for the paper's full O(kp) scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit import Circuit
+from ..circuit.structure import datapath_signals
+from ..faults.model import StuckAtFault, datapath_faults, enumerate_faults
+from ..metrics.errors import ErrorMetrics, rs_max
+from ..metrics.estimate import MetricsEstimator
+from .engine import Overlay, preview_area_reduction
+
+__all__ = ["GreedyConfig", "IterationRecord", "GreedyResult", "circuit_simplify"]
+
+
+@dataclass
+class GreedyConfig:
+    """Tuning knobs for :func:`circuit_simplify`.
+
+    Attributes
+    ----------
+    fom:
+        ``"area"`` or ``"area_per_rs"`` (both appear in the paper).
+    num_vectors:
+        Vector-batch size for ER estimation (paper: 10,000).
+    seed:
+        RNG seed for the vector batch.
+    es_mode:
+        ``"hybrid"`` (rank by simulated ES, commit with ATPG ES --
+        default), ``"atpg"`` (ATPG for commits, identical to hybrid in
+        effect), or ``"simulated"`` (no ATPG at all; fastest,
+        optimistic ES).
+    candidate_limit:
+        Number of candidates fully evaluated per iteration after proxy
+        pre-ranking; ``None`` evaluates all (the paper's full scan).
+    datapath_only:
+        Restrict candidates to datapath lines (Table II methodology).
+    include_branches:
+        Include fanout-branch fault sites.
+    max_iterations:
+        Hard iteration cap.
+    atpg_node_limit:
+        Search budget for each ES-ATPG threshold query.
+    exhaustive:
+        Use an exhaustive vector batch (small circuits; makes ER exact).
+    pow2_es:
+        Round ES up to the next power of two in commit decisions,
+        reproducing the paper's conservative sweep resolution.
+    redundancy_prepass:
+        Run a classical redundancy-removal pass over the candidate
+        faults before RS-budgeted selection.  Redundant faults have
+        zero ER and ES (the paper: "a redundant fault is simply a
+        candidate that has zero ES and ER values"), so injecting them
+        is free; identifying them with PODEM up front is much cheaper
+        than waiting for the greedy ranking to stumble on them.
+    prepass_backtrack_limit:
+        PODEM backtrack budget per fault during the prepass (aborted
+        proofs count as not redundant).
+    """
+
+    fom: str = "area_per_rs"
+    num_vectors: int = 10_000
+    seed: int = 0
+    es_mode: str = "hybrid"
+    candidate_limit: Optional[int] = 200
+    datapath_only: bool = True
+    include_branches: bool = True
+    max_iterations: int = 10_000
+    atpg_node_limit: int = 4_000
+    exhaustive: bool = False
+    pow2_es: bool = False
+    redundancy_prepass: bool = False
+    prepass_backtrack_limit: int = 500
+
+
+@dataclass
+class IterationRecord:
+    """One committed simplification step."""
+
+    index: int
+    fault: StuckAtFault
+    area_before: int
+    area_after: int
+    metrics: ErrorMetrics
+    fom_value: float
+    candidates_evaluated: int
+
+    @property
+    def area_delta(self) -> int:
+        return self.area_before - self.area_after
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of one greedy simplification run."""
+
+    original: Circuit
+    simplified: Circuit
+    rs_threshold: float
+    config: GreedyConfig
+    faults: List[StuckAtFault] = field(default_factory=list)
+    iterations: List[IterationRecord] = field(default_factory=list)
+    final_metrics: Optional[ErrorMetrics] = None
+
+    @property
+    def area_reduction(self) -> int:
+        return self.original.area() - self.simplified.area()
+
+    @property
+    def area_reduction_pct(self) -> float:
+        base = self.original.area()
+        return 100.0 * self.area_reduction / base if base else 0.0
+
+    def area_reduction_at(self, rs_threshold: float) -> float:
+        """Percent area reduction of the deepest trajectory prefix whose
+        cumulative RS stays within ``rs_threshold``.
+
+        Useful for reading several thresholds off one run; dedicated
+        runs per threshold can do slightly better (see module notes).
+        """
+        base = self.original.area()
+        best = 0
+        for rec in self.iterations:
+            if rec.metrics.rs <= rs_threshold:
+                best = max(best, self.original.area() - rec.area_after)
+        return 100.0 * best / base if base else 0.0
+
+
+def circuit_simplify(
+    circuit: Circuit,
+    rs_threshold: Optional[float] = None,
+    rs_pct_threshold: Optional[float] = None,
+    config: Optional[GreedyConfig] = None,
+) -> GreedyResult:
+    """Greedy maximal area reduction within an RS budget (paper Fig. 6).
+
+    Exactly one of ``rs_threshold`` (absolute RS) or ``rs_pct_threshold``
+    (percent of the circuit's maximum RS, as in Table II) must be given.
+    """
+    cfg = config or GreedyConfig()
+    if (rs_threshold is None) == (rs_pct_threshold is None):
+        raise ValueError("give exactly one of rs_threshold / rs_pct_threshold")
+    maximum = rs_max(circuit)
+    threshold = (
+        float(rs_threshold)
+        if rs_threshold is not None
+        else float(rs_pct_threshold) * maximum / 100.0
+    )
+    if cfg.fom not in ("area", "area_per_rs"):
+        raise ValueError(f"unknown FOM {cfg.fom!r}")
+
+    estimator = MetricsEstimator(
+        circuit,
+        num_vectors=cfg.num_vectors,
+        seed=cfg.seed,
+        exhaustive=cfg.exhaustive,
+        atpg_node_limit=cfg.atpg_node_limit,
+    )
+    result = GreedyResult(
+        original=circuit,
+        simplified=circuit.copy(),
+        rs_threshold=threshold,
+        config=cfg,
+    )
+    current = result.simplified
+    current_rs = 0.0
+    banned: Set[Tuple] = set()
+    use_atpg = cfg.es_mode != "simulated"
+
+    reference: Optional[Circuit] = None
+    if cfg.redundancy_prepass:
+        current = _apply_redundancy_prepass(current, cfg, estimator, result)
+        if result.faults:
+            # Every prepass injection is PODEM-proven function
+            # preserving, so the restructured netlist can serve as the
+            # good machine for subsequent affected-cone analysis.
+            reference = current
+
+    for iteration in range(cfg.max_iterations):
+        candidates = _candidate_faults(current, cfg)
+        candidates = [f for f in candidates if _fault_key(f) not in banned]
+        if not candidates:
+            break
+
+        scored = _rank_candidates(current, candidates, cfg, estimator, threshold, current_rs)
+        committed = False
+        evaluated = len(scored)
+        for fom_value, fault, _sim_rs in scored:
+            # Build the tentative netlist and take the commit decision
+            # with the configured (conservative) ES.
+            overlay = Overlay(current)
+            try:
+                overlay.apply(fault)
+            except Exception:
+                banned.add(_fault_key(fault))
+                continue
+            tentative = overlay.materialize(current.name)
+            accepted, metrics = estimator.check_rs(
+                threshold,
+                approx=tentative,
+                use_atpg=use_atpg,
+                pow2_es=cfg.pow2_es,
+                structural_reference=reference,
+            )
+            if not accepted:
+                banned.add(_fault_key(fault))
+                continue
+            result.iterations.append(
+                IterationRecord(
+                    index=iteration,
+                    fault=fault,
+                    area_before=current.area(),
+                    area_after=tentative.area(),
+                    metrics=metrics,
+                    fom_value=fom_value,
+                    candidates_evaluated=evaluated,
+                )
+            )
+            result.faults.append(fault)
+            current = tentative
+            result.simplified = current
+            current_rs = metrics.rs
+            result.final_metrics = metrics
+            committed = True
+            break
+        if not committed:
+            break
+
+    if result.final_metrics is None:
+        _ok, result.final_metrics = estimator.check_rs(
+            threshold,
+            approx=current,
+            use_atpg=use_atpg,
+            structural_reference=reference,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _apply_redundancy_prepass(
+    current: Circuit,
+    cfg: GreedyConfig,
+    estimator: MetricsEstimator,
+    result: GreedyResult,
+) -> Circuit:
+    """Inject PODEM-proven redundant candidate faults (free area).
+
+    Each proven fault is applied one at a time and re-validated by a
+    differential simulation against the original (ER must stay exactly
+    0 on the batch): injecting one redundancy can, in principle, turn a
+    structurally different member of the remaining set non-redundant.
+    """
+    from ..atpg.podem import AtpgStatus, Podem
+    from ..faults.collapse import collapse_faults
+
+    candidates = _candidate_faults(current, cfg)
+    if not candidates:
+        return current
+    classes = collapse_faults(current, candidates)
+
+    # Random-pattern prescreen: any fault detected by the batch is
+    # provably testable, so PODEM only runs on the undetected few.
+    import numpy as np
+
+    from ..simulation.faultsim import FaultSimulator
+    from ..simulation.vectors import random_vectors
+
+    screen_vecs = random_vectors(
+        len(current.inputs), 256, np.random.default_rng(cfg.seed + 7)
+    )
+    fsim = FaultSimulator(current)
+    survivors = []
+    for rep, members in classes.members.items():
+        d = fsim.differential(screen_vecs, [rep])
+        if not d.detected.any():
+            survivors.append((rep, members))
+
+    podem = Podem(current, backtrack_limit=cfg.prepass_backtrack_limit)
+    redundant: List[StuckAtFault] = []
+    for rep, members in survivors:
+        if podem.run(rep).status is AtpgStatus.REDUNDANT:
+            # any member is behaviourally identical; keep the one that
+            # frees the most area
+            best = max(members, key=lambda f: _safe_preview(current, f))
+            redundant.append(best)
+    redundant.sort(key=lambda f: -_safe_preview(current, f))
+    revalidate = False  # first injection is already proven on `current`
+    for fault in redundant:
+        overlay = Overlay(current)
+        try:
+            overlay.apply(fault)
+        except Exception:
+            continue
+        if overlay.area_delta() <= 0:
+            continue
+        if revalidate:
+            # Earlier injections rewrote the netlist; re-prove the fault
+            # redundant on the *current* circuit so that the chain of
+            # injections is exactly function-preserving (this is what
+            # lets the result serve as a structural reference later).
+            if not current.has_signal(fault.line.signal):
+                continue
+            recheck = Podem(current, backtrack_limit=cfg.prepass_backtrack_limit)
+            if recheck.run(fault).status is not AtpgStatus.REDUNDANT:
+                continue
+        tentative = overlay.materialize(current.name)
+        er, observed = estimator.simulate(approx=tentative)
+        if er > 0.0 or observed > 0:
+            continue  # defensive: the proof chain should prevent this
+        result.iterations.append(
+            IterationRecord(
+                index=len(result.iterations),
+                fault=fault,
+                area_before=current.area(),
+                area_after=tentative.area(),
+                metrics=ErrorMetrics(
+                    er=0.0,
+                    es=0,
+                    observed_es=0,
+                    rs_maximum=estimator.rs_maximum,
+                    num_vectors=estimator.num_vectors,
+                    es_mode="redundant",
+                ),
+                fom_value=float("inf"),
+                candidates_evaluated=len(redundant),
+            )
+        )
+        result.faults.append(fault)
+        current = tentative
+        result.simplified = current
+        revalidate = True
+    return current
+
+
+def _safe_preview(circuit: Circuit, fault: StuckAtFault) -> int:
+    try:
+        return preview_area_reduction(circuit, fault)
+    except Exception:
+        return -1
+
+
+def _fault_key(fault: StuckAtFault) -> Tuple:
+    return (fault.line.signal, fault.line.gate, fault.line.pin, fault.value)
+
+
+def _candidate_faults(circuit: Circuit, cfg: GreedyConfig) -> List[StuckAtFault]:
+    if cfg.datapath_only and circuit.control_outputs:
+        return datapath_faults(circuit, include_branches=cfg.include_branches)
+    if cfg.datapath_only:
+        # no control outputs: every line is datapath
+        return enumerate_faults(circuit, include_branches=cfg.include_branches)
+    return enumerate_faults(circuit, include_branches=cfg.include_branches)
+
+
+def _reachable_weight(circuit: Circuit) -> Dict[str, int]:
+    """For every signal, the summed weight of data outputs it reaches.
+
+    This is the structural upper bound on the ES any fault at that line
+    can cause, computed in one reverse-topological sweep.
+    """
+    value_outputs = circuit.data_outputs or list(circuit.outputs)
+    weights = {o: int(circuit.output_weights.get(o, 1)) for o in value_outputs}
+    masks: Dict[str, int] = {s: 0 for s in circuit.signals()}
+    for i, o in enumerate(value_outputs):
+        masks[o] |= 1 << i
+    order = circuit.topological_order()
+    fan = circuit.fanout_map()
+    for name in reversed(order):
+        m = masks[name]
+        for g, _pin in fan.get(name, ()):
+            m |= masks[g]
+        masks[name] = m
+    for pi in circuit.inputs:
+        m = masks[pi]
+        for g, _pin in fan.get(pi, ()):
+            m |= masks[g]
+        masks[pi] = m
+    wlist = [weights[o] for o in value_outputs]
+    out: Dict[str, int] = {}
+    for s, m in masks.items():
+        total = 0
+        i = 0
+        while m:
+            if m & 1:
+                total += wlist[i]
+            m >>= 1
+            i += 1
+        out[s] = total
+    return out
+
+
+def _rank_candidates(
+    current: Circuit,
+    candidates: Sequence[StuckAtFault],
+    cfg: GreedyConfig,
+    estimator: MetricsEstimator,
+    threshold: float,
+    current_rs: float,
+) -> List[Tuple[float, StuckAtFault, float]]:
+    """Score candidates; returns (fom, fault, simulated_rs) sorted best first."""
+    reach = _reachable_weight(current)
+
+    # Phase 1: structural proxy ranking (cheap) to pick the shortlist.
+    proxied: List[Tuple[float, int, StuckAtFault]] = []
+    for f in candidates:
+        try:
+            delta = preview_area_reduction(current, f)
+        except Exception:
+            continue  # e.g. a stem fault contradicting an existing constant
+        if delta <= 0:
+            continue
+        wbound = reach.get(f.line.signal, 0)
+        if cfg.fom == "area":
+            proxy = float(delta)
+        else:
+            proxy = delta / (wbound + 1.0)
+        proxied.append((proxy, delta, f))
+    proxied.sort(key=lambda t: -t[0])
+    shortlist = proxied if cfg.candidate_limit is None else proxied[: cfg.candidate_limit]
+
+    # Phase 2: exact simulation-based scoring of the shortlist.
+    eps = max(estimator.rs_maximum * 1e-15, 1e-12)
+    scored: List[Tuple[float, StuckAtFault, float]] = []
+    for _proxy, delta, f in shortlist:
+        er, observed = estimator.simulate(approx=current, faults=[f])
+        sim_rs = er * observed
+        if sim_rs > threshold:
+            continue  # the conservative ES can only be larger
+        if cfg.fom == "area":
+            fom = float(delta)
+        else:
+            fom = delta / max(sim_rs - current_rs, eps)
+        scored.append((fom, f, sim_rs))
+    scored.sort(key=lambda t: -t[0])
+    return scored

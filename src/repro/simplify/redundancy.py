@@ -1,0 +1,80 @@
+"""Classical redundancy removal (the paper's baseline, refs [13][14]).
+
+Repeatedly: run ATPG over the (collapsed) fault list, pick a proven
+redundant fault, inject it with the simplification engine -- which by
+definition of redundancy preserves the implemented function exactly --
+and iterate on the simplified circuit until no redundant fault remains.
+The paper's method degenerates to this procedure at an RS threshold of
+zero, which the test-suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..atpg.podem import AtpgStatus, Podem
+from ..circuit import Circuit
+from ..faults.collapse import collapse_faults
+from ..faults.model import StuckAtFault
+from .engine import Overlay, preview_area_reduction
+
+__all__ = ["RedundancyRemovalResult", "remove_redundancies"]
+
+
+@dataclass
+class RedundancyRemovalResult:
+    """Outcome of the redundancy-removal loop."""
+
+    original: Circuit
+    simplified: Circuit
+    removed_faults: List[StuckAtFault] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def area_reduction(self) -> int:
+        return self.original.area() - self.simplified.area()
+
+    @property
+    def area_reduction_pct(self) -> float:
+        base = self.original.area()
+        return 100.0 * self.area_reduction / base if base else 0.0
+
+
+def remove_redundancies(
+    circuit: Circuit,
+    backtrack_limit: int = 20_000,
+    max_rounds: int = 50,
+) -> RedundancyRemovalResult:
+    """Iteratively remove redundant stuck-at faults until none remain.
+
+    Each round scans the current circuit's collapsed fault list with
+    PODEM; every redundant fault found is queued, but after each
+    injection the remaining queue is re-validated (removing one
+    redundancy can make another testable), so only one fault is
+    injected per scan position and the scan restarts after the netlist
+    changed.
+    """
+    result = RedundancyRemovalResult(original=circuit, simplified=circuit.copy())
+    current = result.simplified
+    for _round in range(max_rounds):
+        result.rounds = _round + 1
+        podem = Podem(current, backtrack_limit=backtrack_limit)
+        classes = collapse_faults(current)
+        injected: Optional[StuckAtFault] = None
+        for rep in sorted(
+            classes.representatives,
+            key=lambda f: -preview_area_reduction(current, f),
+        ):
+            res = podem.run(rep)
+            if res.status is AtpgStatus.REDUNDANT:
+                injected = rep
+                break
+        if injected is None:
+            break
+        overlay = Overlay(current)
+        overlay.apply(injected)
+        current = overlay.materialize(current.name)
+        result.removed_faults.append(injected)
+        result.simplified = current
+    return result

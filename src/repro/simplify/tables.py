@@ -1,0 +1,112 @@
+"""Table I of the paper: forward-simplification rules per gate type.
+
+Each rule describes what happens when a constant arrives at one input
+of a gate:
+
+* ``FOLD``   -- the constant is the gate's controlling value (or the
+  gate is an inverter/buffer): the gate is removed, its output becomes
+  the given constant, forward implication continues with that constant,
+  and *backward simplification* is performed at every other input.
+* ``DROP``   -- the constant is non-controlling: the input is
+  disconnected and removed (the gate shrinks to n-1 inputs) and forward
+  implication stops.  ``flip`` marks the XOR/XNOR case where dropping a
+  constant-1 input also toggles the gate's polarity (XOR becomes XNOR
+  and vice versa).
+
+The table is exported as data so that the engine and the test-suite
+share one canonical statement of the rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..circuit import GateType
+
+__all__ = ["Action", "Rule", "TABLE_I", "rule_for", "identity_value", "shrink_type"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Outcome of a constant at one gate input."""
+
+    action: str  # "FOLD" or "DROP"
+    output: Optional[int] = None  # constant driven at the output (FOLD only)
+    flip: bool = False  # XOR<->XNOR polarity toggle (DROP only)
+
+
+FOLD = "FOLD"
+DROP = "DROP"
+
+#: (gate type, constant value at input) -> rule.  Verbatim Table I plus
+#: the NOT/BUF rows, which the paper leaves implicit.
+TABLE_I: Dict[Tuple[GateType, int], Rule] = {
+    (GateType.NAND, 0): Rule(FOLD, output=1),
+    (GateType.NAND, 1): Rule(DROP),
+    (GateType.AND, 0): Rule(FOLD, output=0),
+    (GateType.AND, 1): Rule(DROP),
+    (GateType.NOR, 0): Rule(DROP),
+    (GateType.NOR, 1): Rule(FOLD, output=0),
+    (GateType.OR, 0): Rule(DROP),
+    (GateType.OR, 1): Rule(FOLD, output=1),
+    (GateType.XOR, 0): Rule(DROP),
+    (GateType.XOR, 1): Rule(DROP, flip=True),
+    (GateType.XNOR, 0): Rule(DROP),
+    (GateType.XNOR, 1): Rule(DROP, flip=True),
+    (GateType.NOT, 0): Rule(FOLD, output=1),
+    (GateType.NOT, 1): Rule(FOLD, output=0),
+    (GateType.BUF, 0): Rule(FOLD, output=0),
+    (GateType.BUF, 1): Rule(FOLD, output=1),
+}
+
+
+def rule_for(gtype: GateType, const_value: int) -> Rule:
+    """Look up the Table I rule for a constant at a gate input."""
+    try:
+        return TABLE_I[(gtype, const_value)]
+    except KeyError:
+        raise ValueError(f"no forward rule for {gtype!r} with constant {const_value}") from None
+
+
+#: Output value of a gate whose inputs have *all* been dropped as
+#: non-controlling constants (the gate's identity element, inverted for
+#: the inverting types).  XOR/XNOR resolve through polarity flips, so
+#: their entry is the plain even-parity value.
+_IDENTITY: Dict[GateType, int] = {
+    GateType.AND: 1,
+    GateType.NAND: 0,
+    GateType.OR: 0,
+    GateType.NOR: 1,
+    GateType.XOR: 0,
+    GateType.XNOR: 1,
+}
+
+
+def identity_value(gtype: GateType) -> int:
+    """Constant produced when every input of the gate has been dropped."""
+    try:
+        return _IDENTITY[gtype]
+    except KeyError:
+        raise ValueError(f"{gtype!r} cannot lose all inputs") from None
+
+
+#: Replacement when a multi-input gate shrinks to a single input:
+#: non-inverting types become wires, inverting types become inverters
+#: (Fig. 4: "gate K becomes an inverter").
+_SHRINK: Dict[GateType, GateType] = {
+    GateType.AND: GateType.BUF,
+    GateType.OR: GateType.BUF,
+    GateType.XOR: GateType.BUF,
+    GateType.NAND: GateType.NOT,
+    GateType.NOR: GateType.NOT,
+    GateType.XNOR: GateType.NOT,
+}
+
+
+def shrink_type(gtype: GateType) -> GateType:
+    """Gate type after shrinking to one remaining input."""
+    try:
+        return _SHRINK[gtype]
+    except KeyError:
+        raise ValueError(f"{gtype!r} cannot shrink to one input") from None

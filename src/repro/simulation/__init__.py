@@ -1,0 +1,31 @@
+"""Logic simulation: bit-parallel 2-valued, differential fault, 5-valued."""
+
+from .vectors import (
+    exhaustive_vectors,
+    ints_from_vectors,
+    num_words,
+    pack_vectors,
+    random_vectors,
+    tail_mask,
+    unpack_vectors,
+    vectors_from_ints,
+)
+from .logicsim import LogicSimulator, SimResult
+from .faultsim import DifferentialResult, FaultSimulator
+from . import fivevalue
+
+__all__ = [
+    "LogicSimulator",
+    "SimResult",
+    "FaultSimulator",
+    "DifferentialResult",
+    "fivevalue",
+    "pack_vectors",
+    "unpack_vectors",
+    "random_vectors",
+    "exhaustive_vectors",
+    "vectors_from_ints",
+    "ints_from_vectors",
+    "num_words",
+    "tail_mask",
+]

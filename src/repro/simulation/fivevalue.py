@@ -1,0 +1,168 @@
+"""Roth's five-valued D-calculus (Definition 2 of the paper).
+
+Values: 0, 1, D (good 1 / faulty 0), D̄ (good 0 / faulty 1), X.
+The composite value is equivalent to a (good, faulty) pair of
+three-valued logic values; the tables below are derived exactly that
+way, which guarantees consistency between the D-calculus used by PODEM
+and the dual-circuit simulation used by the ES ATPG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..circuit import GateType
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "D",
+    "DBAR",
+    "X",
+    "VALUE_NAMES",
+    "v_not",
+    "v_and",
+    "v_or",
+    "v_xor",
+    "v_gate",
+    "good_component",
+    "faulty_component",
+    "from_components",
+    "is_faulty_value",
+]
+
+ZERO, ONE, D, DBAR, X = range(5)
+
+VALUE_NAMES = {ZERO: "0", ONE: "1", D: "D", DBAR: "D'", X: "X"}
+
+# three-valued components: 0, 1, 2(=unknown)
+_U = 2
+_COMPONENTS: Dict[int, Tuple[int, int]] = {
+    ZERO: (0, 0),
+    ONE: (1, 1),
+    D: (1, 0),
+    DBAR: (0, 1),
+    X: (_U, _U),
+}
+_FROM_COMPONENTS: Dict[Tuple[int, int], int] = {
+    (0, 0): ZERO,
+    (1, 1): ONE,
+    (1, 0): D,
+    (0, 1): DBAR,
+}
+
+
+def good_component(v: int) -> int:
+    """Good-machine component of a five-valued value (0/1/2-unknown)."""
+    return _COMPONENTS[v][0]
+
+
+def faulty_component(v: int) -> int:
+    """Faulty-machine component of a five-valued value (0/1/2-unknown)."""
+    return _COMPONENTS[v][1]
+
+
+def from_components(good: int, faulty: int) -> int:
+    """Compose a five-valued value from 3-valued good/faulty components.
+
+    Any unknown component collapses the composite to X (the five-valued
+    system cannot represent half-known values).
+    """
+    if good == _U or faulty == _U:
+        return X
+    return _FROM_COMPONENTS[(good, faulty)]
+
+
+def is_faulty_value(v: int) -> bool:
+    """True for D or D̄ (Definition 3)."""
+    return v in (D, DBAR)
+
+
+def _and3(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    if a == 1 and b == 1:
+        return 1
+    return _U
+
+
+def _or3(a: int, b: int) -> int:
+    if a == 1 or b == 1:
+        return 1
+    if a == 0 and b == 0:
+        return 0
+    return _U
+
+
+def _xor3(a: int, b: int) -> int:
+    if a == _U or b == _U:
+        return _U
+    return a ^ b
+
+
+def _not3(a: int) -> int:
+    return _U if a == _U else a ^ 1
+
+
+def _lift(op3) -> List[List[int]]:
+    table = [[0] * 5 for _ in range(5)]
+    for a in range(5):
+        ga, fa = _COMPONENTS[a]
+        for b in range(5):
+            gb, fb = _COMPONENTS[b]
+            table[a][b] = from_components(op3(ga, gb), op3(fa, fb))
+    return table
+
+
+_AND_TABLE = _lift(_and3)
+_OR_TABLE = _lift(_or3)
+_XOR_TABLE = _lift(_xor3)
+_NOT_TABLE = [from_components(_not3(g), _not3(f)) for g, f in (_COMPONENTS[v] for v in range(5))]
+
+
+def v_not(a: int) -> int:
+    """Five-valued NOT."""
+    return _NOT_TABLE[a]
+
+
+def v_and(a: int, b: int) -> int:
+    """Five-valued AND."""
+    return _AND_TABLE[a][b]
+
+
+def v_or(a: int, b: int) -> int:
+    """Five-valued OR."""
+    return _OR_TABLE[a][b]
+
+
+def v_xor(a: int, b: int) -> int:
+    """Five-valued XOR."""
+    return _XOR_TABLE[a][b]
+
+
+def v_gate(gtype: GateType, values: Sequence[int]) -> int:
+    """Evaluate one gate in the five-valued system."""
+    if gtype is GateType.CONST0:
+        return ZERO
+    if gtype is GateType.CONST1:
+        return ONE
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        return v_not(values[0])
+    if gtype in (GateType.AND, GateType.NAND):
+        acc = values[0]
+        for v in values[1:]:
+            acc = v_and(acc, v)
+        return v_not(acc) if gtype is GateType.NAND else acc
+    if gtype in (GateType.OR, GateType.NOR):
+        acc = values[0]
+        for v in values[1:]:
+            acc = v_or(acc, v)
+        return v_not(acc) if gtype is GateType.NOR else acc
+    if gtype in (GateType.XOR, GateType.XNOR):
+        acc = values[0]
+        for v in values[1:]:
+            acc = v_xor(acc, v)
+        return v_not(acc) if gtype is GateType.XNOR else acc
+    raise ValueError(f"unknown gate type {gtype!r}")

@@ -1,0 +1,17 @@
+"""Two-level (SOP) synthesis: exact Quine-McCluskey + the approximate
+variant of the authors' prior work (paper ref [8])."""
+
+from .quine import Cube, SopCover, minimize, prime_implicants
+from .approx import ApproxSopResult, approx_minimize
+from .circuit_io import sop_to_circuit, truth_table_of
+
+__all__ = [
+    "Cube",
+    "SopCover",
+    "minimize",
+    "prime_implicants",
+    "ApproxSopResult",
+    "approx_minimize",
+    "sop_to_circuit",
+    "truth_table_of",
+]

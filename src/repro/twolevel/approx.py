@@ -1,0 +1,144 @@
+"""Approximate two-level synthesis (the paper's ref [8] rebuilt).
+
+Shin & Gupta's DATE 2010 predecessor minimizes a *two-level* circuit
+under an error-rate budget: output values may be flipped for up to
+``budget`` input combinations when doing so lets larger cubes (fewer
+literals) cover the function.  This module rebuilds that idea on the
+Quine-McCluskey substrate:
+
+* **0 -> 1 flips**: treating selected OFF-minterms as don't-cares lets
+  primes grow across them;
+* **1 -> 0 flips**: dropping selected ON-minterms removes the need to
+  cover them at all.
+
+The search is greedy over candidate flip sets implied by the prime
+structure: each prime of the *relaxed* function (ON + all OFF treated
+as DC) defines a candidate "grow into these OFF-minterms" move, and
+each expensive ON-minterm (covered only by large-literal primes)
+defines a candidate drop.  Moves are ranked by literal savings per
+error and applied while the budget lasts; the exact minimizer then
+runs on the modified function.
+
+The result records the exact error rate (flips / 2**n), so callers can
+verify the budget (the property tests do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .quine import Cube, SopCover, minimize, prime_implicants
+
+__all__ = ["ApproxSopResult", "approx_minimize"]
+
+
+@dataclass
+class ApproxSopResult:
+    """Outcome of one approximate two-level synthesis run."""
+
+    n: int
+    cover: SopCover
+    exact_cover: SopCover
+    flipped_0_to_1: Set[int] = field(default_factory=set)
+    flipped_1_to_0: Set[int] = field(default_factory=set)
+
+    @property
+    def num_errors(self) -> int:
+        return len(self.flipped_0_to_1) + len(self.flipped_1_to_0)
+
+    @property
+    def error_rate(self) -> float:
+        return self.num_errors / (1 << self.n)
+
+    @property
+    def literals_saved(self) -> int:
+        return self.exact_cover.num_literals - self.cover.num_literals
+
+    @property
+    def literal_reduction_pct(self) -> float:
+        base = self.exact_cover.num_literals
+        return 100.0 * self.literals_saved / base if base else 0.0
+
+
+def approx_minimize(
+    n: int,
+    on_set: Iterable[int],
+    dc_set: Iterable[int] = (),
+    max_errors: int = 0,
+    allow_drops: bool = True,
+    allow_grows: bool = True,
+) -> ApproxSopResult:
+    """Minimize with up to ``max_errors`` deliberate output flips.
+
+    ``max_errors`` bounds the total number of input combinations whose
+    output may change (ER budget x 2**n).  With a zero budget the
+    result equals exact minimization.
+    """
+    if max_errors < 0:
+        raise ValueError("max_errors must be non-negative")
+    on = set(on_set)
+    dc = set(dc_set)
+    universe = set(range(1 << n))
+    off = universe - on - dc
+    exact = minimize(n, on, dc)
+    if max_errors == 0 or not on:
+        return ApproxSopResult(n=n, cover=exact, exact_cover=exact)
+
+    current_on = set(on)
+    flipped01: Set[int] = set()
+    flipped10: Set[int] = set()
+    budget = max_errors
+    best_cover = exact
+
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        base_cover = minimize(n, current_on, dc)
+        base_cost = base_cover.num_literals
+        candidates: List[Tuple[float, str, Set[int]]] = []
+
+        if allow_grows:
+            # primes of the fully relaxed function show where growing
+            # across OFF-minterms buys literals
+            relaxed = prime_implicants(n, current_on, dc | off)
+            for p in relaxed:
+                eat = set(p.minterms()) & off - flipped01
+                if not eat or len(eat) > budget:
+                    continue
+                trial = minimize(n, current_on | eat, dc)
+                saved = base_cost - trial.num_literals
+                if saved > 0:
+                    candidates.append((saved / len(eat), "grow", eat))
+
+        if allow_drops:
+            # dropping an ON-minterm that only expensive primes cover
+            for m in sorted(current_on):
+                trial = minimize(n, current_on - {m}, dc)
+                saved = base_cost - trial.num_literals
+                if saved > 0:
+                    candidates.append((float(saved), "drop", {m}))
+
+        if not candidates:
+            break
+        candidates.sort(key=lambda t: -t[0])
+        _gain, kind, flip = candidates[0]
+        if len(flip) > budget:
+            break
+        if kind == "grow":
+            current_on |= flip
+            flipped01 |= flip
+        else:
+            current_on -= flip
+            flipped10 |= flip
+        budget -= len(flip)
+        best_cover = minimize(n, current_on, dc)
+        improved = True
+
+    return ApproxSopResult(
+        n=n,
+        cover=best_cover,
+        exact_cover=exact,
+        flipped_0_to_1=flipped01,
+        flipped_1_to_0=flipped10,
+    )

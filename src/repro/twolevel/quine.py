@@ -1,0 +1,161 @@
+"""Exact two-level (SOP) minimization: Quine-McCluskey + cover selection.
+
+The substrate for the approximate two-level synthesis of the authors'
+prior work (the paper's ref [8], DATE 2010).  Functions are given as
+ON-set/DC-set minterm collections over n variables; minimization runs
+the classic flow:
+
+1. iterative merging of implicants differing in one literal
+   (Quine-McCluskey prime generation),
+2. essential-prime extraction,
+3. greedy cover of the remaining ON-set (a Petrick-style exact cover is
+   exponential; the greedy choice is the standard practical variant).
+
+Cubes are (value, mask) pairs: ``mask`` bits are don't-cares, and a
+minterm m is covered iff ``m & ~mask == value``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Cube", "prime_implicants", "minimize", "SopCover"]
+
+
+@dataclass(frozen=True, order=True)
+class Cube:
+    """An implicant over n variables: fixed ``value`` bits + DC ``mask``."""
+
+    value: int
+    mask: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.value & self.mask:
+            raise ValueError("cube value must be 0 on don't-care positions")
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & ~self.mask) & ((1 << self.n) - 1) == self.value
+
+    def minterms(self) -> Iterable[int]:
+        """All minterms contained in the cube."""
+        free = [i for i in range(self.n) if (self.mask >> i) & 1]
+        for k in range(1 << len(free)):
+            m = self.value
+            for j, bit in enumerate(free):
+                if (k >> j) & 1:
+                    m |= 1 << bit
+            yield m
+
+    @property
+    def num_literals(self) -> int:
+        """Literals in the product term (fixed positions)."""
+        return self.n - bin(self.mask).count("1")
+
+    def __str__(self) -> str:
+        out = []
+        for i in reversed(range(self.n)):
+            if (self.mask >> i) & 1:
+                out.append("-")
+            else:
+                out.append("1" if (self.value >> i) & 1 else "0")
+        return "".join(out)
+
+
+def prime_implicants(
+    n: int, on_set: Iterable[int], dc_set: Iterable[int] = ()
+) -> List[Cube]:
+    """All prime implicants of the function (ON plus don't-care set)."""
+    care = set(on_set)
+    allowed = care | set(dc_set)
+    if not allowed:
+        return []
+    current: Set[Tuple[int, int]] = {(m, 0) for m in allowed}
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        by_mask: Dict[int, List[Tuple[int, int]]] = {}
+        for cube in current:
+            by_mask.setdefault(cube[1], []).append(cube)
+        for mask, group in by_mask.items():
+            group_set = set(group)
+            for value, _ in group:
+                for bit in range(n):
+                    b = 1 << bit
+                    if mask & b or value & b:
+                        continue
+                    partner = (value | b, mask)
+                    if partner in group_set:
+                        merged.add((value, mask | b))
+                        used.add((value, mask))
+                        used.add(partner)
+        primes |= current - used
+        current = merged
+    return sorted(Cube(v, m, n) for v, m in primes)
+
+
+@dataclass
+class SopCover:
+    """A sum-of-products cover."""
+
+    n: int
+    cubes: List[Cube]
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(c.num_literals for c in self.cubes)
+
+    def evaluate(self, minterm: int) -> int:
+        return int(any(c.covers(minterm) for c in self.cubes))
+
+    def on_set(self) -> Set[int]:
+        out: Set[int] = set()
+        for c in self.cubes:
+            out |= set(c.minterms())
+        return out
+
+    def __str__(self) -> str:
+        return " + ".join(str(c) for c in self.cubes) if self.cubes else "0"
+
+
+def minimize(
+    n: int, on_set: Iterable[int], dc_set: Iterable[int] = ()
+) -> SopCover:
+    """Minimized SOP cover of the ON-set (don't-cares exploited freely).
+
+    Essential primes first, then greedy selection by (coverage,
+    -literals) until every ON-minterm is covered.
+    """
+    on = set(on_set)
+    if not on:
+        return SopCover(n, [])
+    primes = prime_implicants(n, on, dc_set)
+    coverage: Dict[Cube, Set[int]] = {p: set(p.minterms()) & on for p in primes}
+    chosen: List[Cube] = []
+    remaining = set(on)
+
+    # essential primes: minterms covered by exactly one prime
+    for m in list(on):
+        holders = [p for p in primes if m in coverage[p]]
+        if len(holders) == 1 and holders[0] not in chosen:
+            chosen.append(holders[0])
+    for p in chosen:
+        remaining -= coverage[p]
+
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (len(coverage[p] & remaining), -p.num_literals),
+        )
+        gain = coverage[best] & remaining
+        if not gain:
+            raise RuntimeError("cover construction failed (unreachable)")
+        chosen.append(best)
+        remaining -= gain
+    return SopCover(n, sorted(set(chosen)))

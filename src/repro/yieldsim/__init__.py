@@ -1,0 +1,12 @@
+"""Effective-yield analysis: defect populations + acceptance testing."""
+
+from .population import Chip, sample_population
+from .acceptance import ChipVerdict, YieldReport, classify_population
+
+__all__ = [
+    "Chip",
+    "sample_population",
+    "ChipVerdict",
+    "YieldReport",
+    "classify_population",
+]

@@ -1,0 +1,99 @@
+"""Defective-chip population modelling.
+
+The paper's introduction motivates error tolerance through *effective
+yield*: among manufactured chips, some are perfect, some are defective
+but produce errors within the application threshold ("imperfect-but-
+acceptable"), and some are unusable.  This module synthesizes chip
+populations for that analysis: each manufactured chip is the design
+with a random set of spot defects, modelled -- as in the paper's fault
+universe -- as stuck-at faults on random lines.
+
+Defect counts follow the classic Poisson spot-defect model: a chip has
+``k`` defects with probability ``e^-lambda lambda^k / k!``, where
+``lambda`` scales with circuit area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..faults.bridging import BridgingFault, sample_bridging_faults
+from ..faults.model import StuckAtFault, enumerate_faults
+
+__all__ = ["Chip", "sample_population"]
+
+
+@dataclass(frozen=True)
+class Chip:
+    """One manufactured instance: the design plus its spot defects.
+
+    Defects are stuck-at faults and/or bridging shorts.
+    """
+
+    index: int
+    faults: Tuple[StuckAtFault, ...]
+    bridges: Tuple[BridgingFault, ...] = ()
+
+    @property
+    def is_perfect(self) -> bool:
+        return not self.faults and not self.bridges
+
+    @property
+    def num_defects(self) -> int:
+        return len(self.faults) + len(self.bridges)
+
+
+def sample_population(
+    circuit: Circuit,
+    num_chips: int,
+    defect_density: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    include_branches: bool = True,
+    bridging_fraction: float = 0.0,
+) -> List[Chip]:
+    """Sample a population of chips with Poisson-distributed defects.
+
+    ``defect_density`` is the expected number of defects per chip
+    (lambda).  Each defect is a bridging short with probability
+    ``bridging_fraction`` and a stuck-at fault otherwise.  Stuck-at
+    sites are drawn uniformly without repetition per chip
+    (contradictory draws resolved by keeping the first); bridges are
+    drawn from feasible (non-feedback) net pairs.
+    """
+    if num_chips <= 0:
+        raise ValueError("population size must be positive")
+    if defect_density < 0:
+        raise ValueError("defect density must be non-negative")
+    if not 0.0 <= bridging_fraction <= 1.0:
+        raise ValueError("bridging_fraction must be in [0, 1]")
+    rng = rng or np.random.default_rng()
+    universe = enumerate_faults(circuit, include_branches=include_branches)
+    chips: List[Chip] = []
+    counts = rng.poisson(defect_density, size=num_chips)
+    for idx in range(num_chips):
+        k = int(counts[idx])
+        num_bridges = (
+            int(np.sum(rng.random(k) < bridging_fraction)) if bridging_fraction else 0
+        )
+        num_stuck = k - num_bridges
+        faults: List[StuckAtFault] = []
+        seen_lines = set()
+        if num_stuck:
+            picks = rng.choice(
+                len(universe), size=min(num_stuck, len(universe)), replace=False
+            )
+            for p in picks:
+                f = universe[int(p)]
+                if f.line in seen_lines:
+                    continue
+                seen_lines.add(f.line)
+                faults.append(f)
+        bridges: Tuple[BridgingFault, ...] = ()
+        if num_bridges:
+            bridges = tuple(sample_bridging_faults(circuit, num_bridges, rng=rng))
+        chips.append(Chip(index=idx, faults=tuple(faults), bridges=bridges))
+    return chips

@@ -1,0 +1,70 @@
+"""Switching-activity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_switching
+from repro.circuit import CircuitBuilder
+from repro.simplify import circuit_simplify, GreedyConfig
+from tests.conftest import build_ripple_adder
+
+
+def test_uniform_input_activity():
+    b = CircuitBuilder()
+    a = b.input("a")
+    b.output(b.NOT(a))
+    est = estimate_switching(b.build(), num_pairs=4000, seed=1)
+    # independent uniform pairs toggle with probability 1/2
+    assert est.activity["a"] == pytest.approx(0.5, abs=0.05)
+
+
+def test_and_tree_activity_decays():
+    b = CircuitBuilder()
+    ins = b.input_bus("d", 8)
+    from repro.circuit import GateType
+
+    out = b.reduce_tree(GateType.AND, ins)
+    b.output(out)
+    est = estimate_switching(b.build(), num_pairs=6000, seed=2)
+    # P(and8 toggles) = 2 p (1-p) with p = 2^-8: tiny
+    assert est.activity[out] < 0.05
+    assert est.activity[ins[0]] == pytest.approx(0.5, abs=0.05)
+
+
+def test_constants_never_toggle():
+    b = CircuitBuilder()
+    a = b.input("a")
+    one = b.const(1)
+    b.output(b.AND(a, one))
+    est = estimate_switching(b.build(), num_pairs=1000, seed=3)
+    assert est.activity[one] == 0.0
+
+
+def test_weighted_activity_accounts_for_fanout():
+    b = CircuitBuilder()
+    a = b.input("a")
+    n = b.NOT(a, name="n")
+    b.output(b.AND(n, a, name="z1"))
+    b.output(b.OR(n, a, name="z2"))
+    est = estimate_switching(b.build(), num_pairs=2000, seed=4)
+    assert est.weighted_activity > sum(est.activity.values())
+
+
+def test_simplification_reduces_switching():
+    """Less logic switches less -- the paper's power argument."""
+    adder = build_ripple_adder(8)
+    res = circuit_simplify(
+        adder,
+        rs_pct_threshold=5.0,
+        config=GreedyConfig(num_vectors=2000, seed=0),
+    )
+    before = estimate_switching(adder, num_pairs=4000, seed=5)
+    after = estimate_switching(res.simplified, num_pairs=4000, seed=5)
+    assert after.weighted_activity < before.weighted_activity
+
+
+def test_determinism():
+    adder = build_ripple_adder(4)
+    a = estimate_switching(adder, num_pairs=500, seed=9)
+    b = estimate_switching(adder, num_pairs=500, seed=9)
+    assert a.activity == b.activity

@@ -1,0 +1,102 @@
+"""SCOAP testability measures."""
+
+import pytest
+
+from repro.analysis import compute_scoap
+from repro.circuit import CircuitBuilder
+
+
+def test_primary_input_costs(c17):
+    m = compute_scoap(c17)
+    for pi in c17.inputs:
+        assert m.cc0[pi] == 1
+        assert m.cc1[pi] == 1
+
+
+def test_and_gate_rules():
+    b = CircuitBuilder()
+    x, y = b.input("x"), b.input("y")
+    z = b.AND(x, y, name="z")
+    b.output(z)
+    m = compute_scoap(b.build())
+    assert m.cc1["z"] == 3  # both inputs to 1: 1+1+1
+    assert m.cc0["z"] == 2  # cheapest single 0: 1+1
+    assert m.co["z"] == 0  # primary output
+    # observing x requires y=1: co(z) + cc1(y) + 1
+    assert m.co["x"] == 2
+
+
+def test_nand_nor_inversion():
+    b = CircuitBuilder()
+    x, y = b.input("x"), b.input("y")
+    n1 = b.NAND(x, y, name="n1")
+    n2 = b.NOR(x, y, name="n2")
+    b.output(n1)
+    b.output(n2)
+    m = compute_scoap(b.build())
+    assert m.cc0["n1"] == 3  # force both inputs 1
+    assert m.cc1["n1"] == 2
+    assert m.cc1["n2"] == 3  # force both inputs 0
+    assert m.cc0["n2"] == 2
+
+
+def test_xor_rules():
+    b = CircuitBuilder()
+    x, y = b.input("x"), b.input("y")
+    z = b.XOR(x, y, name="z")
+    b.output(z)
+    m = compute_scoap(b.build())
+    # 0: equal inputs (1+1); 1: differing inputs (1+1); both +1
+    assert m.cc0["z"] == 3
+    assert m.cc1["z"] == 3
+    assert m.co["x"] == 2  # co(z)=0 + min(cc0,cc1)(y)=1 + 1
+
+
+def test_constants():
+    b = CircuitBuilder()
+    a = b.input("a")
+    one = b.const(1)
+    b.output(b.AND(a, one, name="z"))
+    m = compute_scoap(b.build())
+    assert m.cc1[one] == 0
+    assert m.cc0[one] >= 10**6  # unreachable
+
+
+def test_observability_grows_with_depth():
+    b = CircuitBuilder()
+    a = b.input("a")
+    x = a
+    names = []
+    for i in range(4):
+        x = b.NOT(x, name=f"n{i}")
+        names.append(x)
+    b.output(x)
+    m = compute_scoap(b.build())
+    obs = [m.co[n] for n in names]
+    assert obs == sorted(obs, reverse=True)
+    assert m.co["a"] == 4
+
+
+def test_detect_cost_and_ranking(c17):
+    m = compute_scoap(c17)
+    hardest = m.hardest_faults(limit=5)
+    assert len(hardest) == 5
+    costs = [c for _, _, c in hardest]
+    assert costs == sorted(costs, reverse=True)
+    # detect cost decomposition
+    s, v, c = hardest[0]
+    assert c == m.detect_cost(s, v)
+    assert m.detect_cost(s, 0) == m.controllability(s, 1) + m.co[s]
+
+
+def test_fanout_takes_cheapest_path():
+    b = CircuitBuilder()
+    a = b.input("a")
+    x = b.input("x")
+    direct = b.BUF(a, name="direct")
+    gated = b.AND(a, x, name="gated")
+    b.output(direct)
+    b.output(gated)
+    m = compute_scoap(b.build())
+    # the buffer path is the cheapest observation of 'a'
+    assert m.co["a"] == 1

@@ -1,0 +1,47 @@
+"""PODEM backtrace guidance heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Podem
+from repro.benchlib import ISCAS85_SUITE, random_circuit
+from repro.faults import enumerate_faults
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def test_unknown_guidance_rejected(c17):
+    with pytest.raises(ValueError):
+        Podem(c17, guidance="magic")
+
+
+def test_scoap_guidance_same_verdicts(rng):
+    """Heuristics change effort, never correctness."""
+    for _ in range(8):
+        ckt = random_circuit(
+            num_inputs=int(rng.integers(3, 6)),
+            num_gates=int(rng.integers(5, 20)),
+            rng=rng,
+        )
+        level = Podem(ckt, guidance="level")
+        scoap = Podem(ckt, guidance="scoap")
+        vecs = exhaustive_vectors(len(ckt.inputs))
+        sim = LogicSimulator(ckt)
+        good = sim.run(vecs).output_bits()
+        for f in enumerate_faults(ckt)[::5]:
+            truth = bool((sim.run(vecs, [f]).output_bits() != good).any())
+            assert level.run(f).is_testable == truth
+            assert scoap.run(f).is_testable == truth
+
+
+def test_scoap_guidance_reduces_effort():
+    """On the control-heavy ALU benchmark SCOAP guidance backtracks
+    (much) less than depth-based guidance."""
+    ckt = ISCAS85_SUITE["c880"].builder()
+    faults = enumerate_faults(ckt)
+    rng = np.random.default_rng(3)
+    idx = rng.permutation(len(faults))[:40]
+    totals = {}
+    for guidance in ("level", "scoap"):
+        podem = Podem(ckt, guidance=guidance, backtrack_limit=2000)
+        totals[guidance] = sum(podem.run(faults[int(i)]).backtracks for i in idx)
+    assert totals["scoap"] <= totals["level"]

@@ -1,0 +1,115 @@
+"""PODEM vs. exhaustive ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import AtpgStatus, Podem
+from repro.benchlib import random_circuit
+from repro.circuit import CircuitBuilder
+from repro.faults import StuckAtFault, enumerate_faults
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def exhaustively_testable(circuit, fault):
+    sim = LogicSimulator(circuit)
+    vecs = exhaustive_vectors(len(circuit.inputs))
+    good = sim.run(vecs).output_bits()
+    faulty = sim.run(vecs, [fault]).output_bits()
+    return bool((good != faulty).any())
+
+
+def assert_vector_detects(circuit, fault, vector):
+    sim = LogicSimulator(circuit)
+    v = np.array([[vector[pi] for pi in circuit.inputs]], dtype=bool)
+    good = sim.run(v).output_bits()
+    faulty = sim.run(v, [fault]).output_bits()
+    assert (good != faulty).any(), f"vector fails to detect {fault}"
+
+
+def test_c17_all_faults_classified(c17):
+    podem = Podem(c17)
+    for fault in enumerate_faults(c17):
+        res = podem.run(fault)
+        truth = exhaustively_testable(c17, fault)
+        assert res.is_testable == truth, fault
+        if res.is_testable:
+            assert_vector_detects(c17, fault, res.vector)
+
+
+def test_known_redundancy():
+    # z = a OR (a AND b): the AND gate is redundant logic
+    b = CircuitBuilder("red")
+    a, c = b.input("a"), b.input("b")
+    t = b.AND(a, c, name="t")
+    b.output(b.OR(a, t, name="z"))
+    ckt = b.build()
+    podem = Podem(ckt)
+    assert podem.run(StuckAtFault.stem("t", 0)).is_redundant
+    assert podem.run(StuckAtFault.stem("b", 0)).is_redundant
+    assert podem.run(StuckAtFault.stem("b", 1)).is_redundant
+    assert podem.run(StuckAtFault.stem("t", 1)).is_testable
+    assert podem.run(StuckAtFault.stem("a", 0)).is_testable
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_random_circuits_match_exhaustive(seed):
+    rng = np.random.default_rng(seed)
+    ckt = random_circuit(
+        num_inputs=int(rng.integers(3, 7)),
+        num_gates=int(rng.integers(4, 22)),
+        rng=rng,
+    )
+    podem = Podem(ckt)
+    faults = enumerate_faults(ckt)
+    idx = rng.permutation(len(faults))[:8]
+    for i in idx:
+        fault = faults[int(i)]
+        res = podem.run(fault)
+        assert res.status is not AtpgStatus.ABORTED
+        assert res.is_testable == exhaustively_testable(ckt, fault), fault
+        if res.is_testable:
+            assert_vector_detects(ckt, fault, res.vector)
+
+
+def test_branch_fault_atpg(c17):
+    podem = Podem(c17)
+    fault = StuckAtFault.branch("G11", "G16", 1, 0)
+    res = podem.run(fault)
+    assert res.is_testable == exhaustively_testable(c17, fault)
+    if res.is_testable:
+        assert_vector_detects(c17, fault, res.vector)
+
+
+def test_pi_fault(c17):
+    podem = Podem(c17)
+    for value in (0, 1):
+        fault = StuckAtFault.stem("G2", value)
+        res = podem.run(fault)
+        assert res.is_testable
+        assert_vector_detects(c17, fault, res.vector)
+
+
+def test_xor_heavy_circuit():
+    b = CircuitBuilder("xortree")
+    ins = b.input_bus("d", 5)
+    b.output(b.parity(ins))
+    ckt = b.build()
+    podem = Podem(ckt)
+    for fault in enumerate_faults(ckt):
+        res = podem.run(fault)
+        assert res.is_testable  # every fault in a parity tree is testable
+        assert_vector_detects(ckt, fault, res.vector)
+
+
+def test_unknown_fault_site_rejected(c17):
+    podem = Podem(c17)
+    with pytest.raises(ValueError):
+        podem.run(StuckAtFault.stem("nope", 0))
+
+
+def test_result_counters(c17):
+    res = Podem(c17).run(StuckAtFault.stem("G22", 0))
+    assert res.decisions >= 0
+    assert res.backtracks >= 0

@@ -1,0 +1,50 @@
+"""Redundant-fault identification."""
+
+import numpy as np
+
+from repro.atpg import find_redundant_faults, is_redundant
+from repro.circuit import CircuitBuilder
+from repro.faults import StuckAtFault, enumerate_faults
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def redundant_circuit():
+    """z = a OR (a AND b) -- consensus-style redundancy."""
+    b = CircuitBuilder("red")
+    a, c = b.input("a"), b.input("b")
+    t = b.AND(a, c, name="t")
+    b.output(b.OR(a, t, name="z"))
+    return b.build()
+
+
+def test_is_redundant():
+    ckt = redundant_circuit()
+    assert is_redundant(ckt, StuckAtFault.stem("t", 0))
+    assert not is_redundant(ckt, StuckAtFault.stem("a", 1))
+
+
+def test_report_matches_exhaustive():
+    ckt = redundant_circuit()
+    report = find_redundant_faults(ckt)
+    sim = LogicSimulator(ckt)
+    vecs = exhaustive_vectors(2)
+    good = sim.run(vecs).output_bits()
+    for f in enumerate_faults(ckt):
+        truly_red = not (sim.run(vecs, [f]).output_bits() != good).any()
+        assert (f in set(report.redundant)) == truly_red, f
+    assert not report.aborted
+    assert 0 < report.redundancy_ratio < 1
+
+
+def test_collapsed_and_uncollapsed_agree():
+    ckt = redundant_circuit()
+    a = find_redundant_faults(ckt, collapse=True)
+    b = find_redundant_faults(ckt, collapse=False)
+    assert set(a.redundant) == set(b.redundant)
+
+
+def test_irredundant_circuit(c17):
+    # c17 is fully testable: no redundant faults
+    report = find_redundant_faults(c17)
+    assert not report.redundant
+    assert len(report.testable) == len(enumerate_faults(c17))

@@ -1,0 +1,117 @@
+"""Circuit-to-BDD conversion and exact analyses."""
+
+import numpy as np
+import pytest
+
+from repro.bdd import (
+    BddLimitExceeded,
+    build_output_bdds,
+    check_equivalence,
+    exact_error_rate,
+    output_probabilities,
+)
+from repro.benchlib import random_circuit
+from repro.faults import StuckAtFault, enumerate_faults
+from repro.simplify import remove_redundancies, simplify_with_faults
+from repro.simulation import FaultSimulator, LogicSimulator, exhaustive_vectors
+
+
+def test_outputs_match_simulation(c17):
+    bdd, outs = build_output_bdds(c17)
+    vecs = exhaustive_vectors(5)
+    sim = LogicSimulator(c17).run(vecs)
+    for o, node in outs.items():
+        ref = sim.values_for(o)
+        for k in range(32):
+            assert bdd.evaluate(node, [int(b) for b in vecs[k]]) == int(ref[k])
+
+
+def test_faulty_bdds_match_simulation(c17, rng):
+    faults = enumerate_faults(c17)
+    vecs = exhaustive_vectors(5)
+    sim = LogicSimulator(c17)
+    for i in rng.permutation(len(faults))[:8]:
+        f = faults[int(i)]
+        bdd, outs = build_output_bdds(c17, faults=[f])
+        ref = sim.run(vecs, [f])
+        for o, node in outs.items():
+            vals = ref.values_for(o)
+            for k in range(32):
+                assert bdd.evaluate(node, [int(b) for b in vecs[k]]) == int(vals[k])
+
+
+def test_exact_er_matches_exhaustive(adder4, rng):
+    fsim = FaultSimulator(adder4)
+    faults = enumerate_faults(adder4)
+    for i in rng.permutation(len(faults))[:6]:
+        f = faults[int(i)]
+        exact = fsim.estimate([f], exhaustive=True).error_rate
+        via_bdd = exact_error_rate(adder4, faults=[f])
+        assert via_bdd == pytest.approx(exact)
+
+
+def test_exact_er_of_simplified_circuit(adder4):
+    f = StuckAtFault.stem(adder4.outputs[1], 1)
+    simp = simplify_with_faults(adder4, [f])
+    er_sim = FaultSimulator(adder4).estimate([f], exhaustive=True).error_rate
+    assert exact_error_rate(adder4, approx=simp) == pytest.approx(er_sim)
+
+
+def test_equivalence_checking(c17):
+    assert check_equivalence(c17, c17.copy())
+    mutated = simplify_with_faults(c17, [StuckAtFault.stem("G16", 0)])
+    assert not check_equivalence(c17, mutated)
+
+
+def test_redundancy_removal_formally_verified():
+    """The classical baseline's output is provably equivalent."""
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder("red")
+    a, x, c = b.input("a"), b.input("b"), b.input("c")
+    na = b.NOT(a)
+    t1 = b.AND(a, x)
+    t2 = b.AND(na, c)
+    t3 = b.AND(x, c)
+    b.output(b.OR(t1, t2, t3))
+    ckt = b.build()
+    res = remove_redundancies(ckt)
+    assert res.removed_faults
+    assert check_equivalence(ckt, res.simplified)
+
+
+def test_output_probabilities(adder4):
+    probs = output_probabilities(adder4)
+    # each sum bit of a uniform-input adder is balanced
+    for o in adder4.outputs[:4]:
+        assert probs[o] == pytest.approx(0.5)
+    # carry-out probability: 120/256
+    assert probs[adder4.outputs[4]] == pytest.approx(120 / 256)
+
+
+def test_wide_circuit_beyond_exhaustive_reach():
+    """Exact ER on a 40-input circuit: impossible to exhaust, easy
+    for BDD model counting."""
+    from repro.circuit import CircuitBuilder, GateType
+
+    b = CircuitBuilder("wide_and_or")
+    ins = b.input_bus("d", 40)
+    left = b.reduce_tree(GateType.AND, ins[:20])
+    right = b.reduce_tree(GateType.OR, ins[20:])
+    out = b.OR(left, right, name="z")
+    b.output(out)
+    ckt = b.build()
+    er = exact_error_rate(ckt, faults=[StuckAtFault.stem("z", 1)])
+    # z == 0 iff right half all-0 and left AND==0 (any of 2^20-1 patterns)
+    expect = ((2**20 - 1) / 2**20) * (1 / 2**20)
+    assert er == pytest.approx(expect)
+
+
+def test_node_limit_enforced(adder4):
+    with pytest.raises(BddLimitExceeded):
+        build_output_bdds(adder4, node_limit=4)
+
+
+def test_input_mismatch_rejected(adder4, c17):
+    with pytest.raises(ValueError):
+        exact_error_rate(adder4, approx=c17)

@@ -1,0 +1,107 @@
+"""ROBDD engine: canonicity, operations, model counting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd
+from repro.bdd.robdd import ONE, ZERO
+
+
+def brute_count(bdd, node, n):
+    return sum(
+        bdd.evaluate(node, list(bits)) for bits in itertools.product((0, 1), repeat=n)
+    )
+
+
+def test_terminals():
+    bdd = Bdd(3)
+    assert bdd.sat_count(ZERO) == 0
+    assert bdd.sat_count(ONE) == 8
+    assert bdd.sat_fraction(ONE) == 1.0
+
+
+def test_variable_semantics():
+    bdd = Bdd(3)
+    x1 = bdd.variable(1)
+    assert bdd.evaluate(x1, [0, 1, 0]) == 1
+    assert bdd.evaluate(x1, [1, 0, 1]) == 0
+    assert bdd.sat_count(x1) == 4
+
+
+def test_variable_bounds():
+    bdd = Bdd(2)
+    with pytest.raises(ValueError):
+        bdd.variable(2)
+
+
+def test_canonicity():
+    """Structurally equal functions share one node."""
+    bdd = Bdd(2)
+    a, b = bdd.variable(0), bdd.variable(1)
+    f1 = bdd.apply_or(bdd.apply_and(a, b), bdd.apply_and(a, bdd.apply_not(b)))
+    assert f1 == a  # ab + ab' == a, found by reduction
+    f2 = bdd.apply_xor(a, b)
+    f3 = bdd.apply_xor(b, a)
+    assert f2 == f3
+
+
+def test_connectives_truth_tables():
+    bdd = Bdd(2)
+    a, b = bdd.variable(0), bdd.variable(1)
+    cases = {
+        bdd.apply_and(a, b): lambda x, y: x & y,
+        bdd.apply_or(a, b): lambda x, y: x | y,
+        bdd.apply_xor(a, b): lambda x, y: x ^ y,
+        bdd.apply_not(a): lambda x, y: x ^ 1,
+    }
+    for node, ref in cases.items():
+        for x, y in itertools.product((0, 1), repeat=2):
+            assert bdd.evaluate(node, [x, y]) == ref(x, y)
+
+
+def test_ite_identity_shortcuts():
+    bdd = Bdd(2)
+    a = bdd.variable(0)
+    assert bdd.ite(ONE, a, ZERO) == a
+    assert bdd.ite(ZERO, a, ONE) == ONE
+    assert bdd.ite(a, ONE, ZERO) == a
+
+
+def test_apply_many():
+    bdd = Bdd(4)
+    xs = [bdd.variable(i) for i in range(4)]
+    conj = bdd.apply_many("and", xs)
+    assert bdd.sat_count(conj) == 1
+    par = bdd.apply_many("xor", xs)
+    assert bdd.sat_count(par) == 8
+
+
+def test_any_sat():
+    bdd = Bdd(3)
+    xs = [bdd.variable(i) for i in range(3)]
+    f = bdd.apply_and(xs[0], bdd.apply_not(xs[2]))
+    model = bdd.any_sat(f)
+    full = [model.get(i, 0) for i in range(3)]
+    assert bdd.evaluate(f, full) == 1
+    assert bdd.any_sat(ZERO) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 4), data=st.data())
+def test_sat_count_matches_brute_force(n, data):
+    bdd = Bdd(n)
+    xs = [bdd.variable(i) for i in range(n)]
+    # build a random expression tree
+    nodes = list(xs) + [ZERO, ONE]
+    for _ in range(data.draw(st.integers(1, 8))):
+        op = data.draw(st.sampled_from(["and", "or", "xor", "not"]))
+        a = data.draw(st.sampled_from(nodes))
+        if op == "not":
+            nodes.append(bdd.apply_not(a))
+        else:
+            b = data.draw(st.sampled_from(nodes))
+            nodes.append(getattr(bdd, f"apply_{op}")(a, b))
+    f = nodes[-1]
+    assert bdd.sat_count(f) == brute_count(bdd, f, n)

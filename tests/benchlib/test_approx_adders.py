@@ -1,0 +1,135 @@
+"""Approximate adder baselines: functional and metric properties."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import build_adder_circuit
+from repro.benchlib.approx_adders import build_lower_or_adder, build_truncated_adder
+from repro.metrics import MetricsEstimator
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def int_of(vec, lo, width):
+    return sum(int(vec[lo + i]) << i for i in range(width))
+
+
+@pytest.mark.parametrize("k", [0, 1, 3, 6])
+def test_truncated_adder_function(k):
+    bits = 6
+    ckt = build_truncated_adder(bits, k)
+    vecs = exhaustive_vectors(2 * bits)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for t, v in enumerate(vals):
+        a = int_of(vecs[t], 0, bits)
+        b = int_of(vecs[t], bits, bits)
+        expect = ((a >> k) + (b >> k)) << k if k < bits else 0
+        assert v == expect
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_lower_or_adder_function(k):
+    bits = 6
+    ckt = build_lower_or_adder(bits, k)
+    vecs = exhaustive_vectors(2 * bits)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for t, v in enumerate(vals):
+        a = int_of(vecs[t], 0, bits)
+        b = int_of(vecs[t], bits, bits)
+        low = 0
+        for i in range(k):
+            low |= (((a >> i) | (b >> i)) & 1) << i
+        cin = ((a >> (k - 1)) & (b >> (k - 1))) & 1
+        high = ((a >> k) + (b >> k) + cin) << k
+        assert v == high | low
+
+
+def test_zero_approximation_is_exact():
+    bits = 5
+    exact = build_adder_circuit(bits, "ripple")
+    loa = build_lower_or_adder(bits, 0)
+    vecs = exhaustive_vectors(2 * bits)
+    a = LogicSimulator(exact).run(vecs).output_values()
+    b = LogicSimulator(loa).run(vecs).output_values()
+    assert a == b
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        build_truncated_adder(4, 5)
+    with pytest.raises(ValueError):
+        build_lower_or_adder(4, -1)
+
+
+def test_truncated_adder_es_matches_theory():
+    """Truncating k bits bounds ES by the dropped weight."""
+    bits, k = 8, 3
+    exact = build_adder_circuit(bits, "ripple")
+    tru = build_truncated_adder(bits, k)
+    est = MetricsEstimator(exact, exhaustive=True)
+    er, observed = est.simulate(approx=tru)
+    # worst deviation: the dropped low sum (up to 2**k - 1) plus the
+    # lost carry into bit k (another 2**k)
+    assert 0 < observed <= 2 ** (k + 1)
+    assert er > 0.5
+
+
+def test_loa_dominates_truncation_in_error():
+    """At equal k, LOA's deviation is no worse than truncation's."""
+    bits, k = 8, 3
+    exact = build_adder_circuit(bits, "ripple")
+    est = MetricsEstimator(exact, exhaustive=True)
+    _, dev_tru = est.simulate(approx=build_truncated_adder(bits, k))
+    _, dev_loa = est.simulate(approx=build_lower_or_adder(bits, k))
+    assert dev_loa <= dev_tru
+
+
+def test_area_decreases_with_approximation():
+    bits = 8
+    areas = [build_lower_or_adder(bits, k).area() for k in (0, 2, 4, 6)]
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+
+
+@pytest.mark.parametrize("window", [1, 2, 4])
+def test_almost_correct_adder_function(window):
+    from repro.benchlib.approx_adders import build_almost_correct_adder
+
+    bits = 5
+    ckt = build_almost_correct_adder(bits, window)
+    vecs = exhaustive_vectors(2 * bits)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for t, v in enumerate(vals):
+        a = int_of(vecs[t], 0, bits)
+        b = int_of(vecs[t], bits, bits)
+        expect = 0
+        for i in range(bits):
+            lo = max(0, i - window + 1)
+            mask = (1 << (i - lo + 1)) - 1
+            seg = ((a >> lo) & mask) + ((b >> lo) & mask)
+            expect |= ((seg >> (i - lo)) & 1) << i
+        # top carry comes from the last window
+        lo = max(0, bits - window)
+        mask = (1 << (bits - lo)) - 1
+        seg = ((a >> lo) & mask) + ((b >> lo) & mask)
+        expect |= ((seg >> (bits - lo)) & 1) << bits
+        assert v == expect, (a, b, window)
+
+
+def test_almost_correct_adder_full_window_exact():
+    from repro.benchlib.approx_adders import build_almost_correct_adder
+
+    bits = 5
+    ckt = build_almost_correct_adder(bits, bits)
+    vecs = exhaustive_vectors(2 * bits)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for t, v in enumerate(vals):
+        assert v == int_of(vecs[t], 0, bits) + int_of(vecs[t], bits, bits)
+
+
+def test_almost_correct_adder_cuts_depth():
+    from repro.benchlib.approx_adders import build_almost_correct_adder
+
+    exact = build_adder_circuit(12, "ripple")
+    aca = build_almost_correct_adder(12, 3)
+    assert aca.depth() < exact.depth()  # the ref [7]-style delay win
+    with pytest.raises(ValueError):
+        build_almost_correct_adder(4, 0)

@@ -1,0 +1,123 @@
+"""Functional correctness of the arithmetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import (
+    build_adder_circuit,
+    build_alu,
+    build_multiplier_circuit,
+    constant_multiplier,
+    magnitude_comparator,
+)
+from repro.circuit import CircuitBuilder
+from repro.simulation import LogicSimulator, exhaustive_vectors, random_vectors
+
+
+def int_of(vec, lo, width):
+    return sum(int(vec[lo + i]) << i for i in range(width))
+
+
+@pytest.mark.parametrize("kind", ["ripple", "cla"])
+@pytest.mark.parametrize("bits", [1, 3, 6])
+def test_adders(kind, bits):
+    ckt = build_adder_circuit(bits, kind)
+    vecs = exhaustive_vectors(2 * bits)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for k, v in enumerate(vals):
+        assert v == int_of(vecs[k], 0, bits) + int_of(vecs[k], bits, bits)
+
+
+def test_cla_group_boundaries():
+    # width not a multiple of the lookahead group
+    ckt = build_adder_circuit(6, "cla")
+    vecs = random_vectors(12, 500, np.random.default_rng(5))
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for k, v in enumerate(vals):
+        assert v == int_of(vecs[k], 0, 6) + int_of(vecs[k], 6, 6)
+
+
+def test_unknown_adder_kind():
+    with pytest.raises(ValueError):
+        build_adder_circuit(4, "carry-select")
+
+
+def test_adder_control_parity_flag():
+    ckt = build_adder_circuit(3, "ripple", control_parity=True)
+    assert len(ckt.control_outputs) == 1
+
+
+@pytest.mark.parametrize("bits", [2, 3, 4])
+def test_array_multiplier(bits):
+    ckt = build_multiplier_circuit(bits)
+    vecs = exhaustive_vectors(2 * bits)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for k, v in enumerate(vals):
+        assert v == int_of(vecs[k], 0, bits) * int_of(vecs[k], bits, bits)
+
+
+@pytest.mark.parametrize("coeff", [0, 1, 5, 13, 22])
+def test_constant_multiplier(coeff):
+    b = CircuitBuilder()
+    a = b.input_bus("a", 4)
+    out = constant_multiplier(b, a, coeff)
+    b.output_bus(out)
+    ckt = b.build()
+    vecs = exhaustive_vectors(4)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for k, v in enumerate(vals):
+        assert v == coeff * int_of(vecs[k], 0, 4)
+
+
+def test_constant_multiplier_truncation():
+    b = CircuitBuilder()
+    a = b.input_bus("a", 4)
+    out = constant_multiplier(b, a, 13, width=4)
+    assert out.width == 4
+    b.output_bus(out)
+    ckt = b.build()
+    vecs = exhaustive_vectors(4)
+    vals = LogicSimulator(ckt).run(vecs).output_values()
+    for k, v in enumerate(vals):
+        assert v == (13 * int_of(vecs[k], 0, 4)) % 16
+
+
+def test_negative_coefficient_rejected():
+    b = CircuitBuilder()
+    a = b.input_bus("a", 2)
+    with pytest.raises(ValueError):
+        constant_multiplier(b, a, -1)
+
+
+def test_magnitude_comparator():
+    b = CircuitBuilder()
+    x = b.input_bus("x", 4)
+    y = b.input_bus("y", 4)
+    gt, eq, lt = magnitude_comparator(b, x, y)
+    for s in (gt, eq, lt):
+        b.output(s)
+    ckt = b.build()
+    vecs = exhaustive_vectors(8)
+    bits = LogicSimulator(ckt).run(vecs).output_bits()
+    for k in range(len(vecs)):
+        a = int_of(vecs[k], 0, 4)
+        c = int_of(vecs[k], 4, 4)
+        assert bool(bits[k, 0]) == (a > c)
+        assert bool(bits[k, 1]) == (a == c)
+        assert bool(bits[k, 2]) == (a < c)
+
+
+def test_alu_add_channel():
+    ckt = build_alu(4)
+    vecs = random_vectors(10, 400, np.random.default_rng(9))
+    res = LogicSimulator(ckt).run(vecs)
+    data = res.output_bits(ckt.data_outputs)
+    for k in range(len(vecs)):
+        op = int_of(vecs[k], 8, 2)
+        a = int_of(vecs[k], 0, 4)
+        c = int_of(vecs[k], 4, 4)
+        got = sum(int(data[k, i]) << i for i in range(5))
+        expect = {0: a + c, 1: a & c, 2: a | c, 3: a ^ c}[op]
+        if op:
+            expect &= 0xF
+        assert got == expect, (op, a, c)

@@ -1,0 +1,77 @@
+"""SEC/DED error-correcting logic."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import build_ecc_corrector, hamming_positions
+from repro.simulation import LogicSimulator
+
+
+def encode_word(data: int, data_bits: int) -> tuple:
+    """Reference Hamming encoder: returns (codeword list, overall parity)."""
+    data_pos, parity = hamming_positions(data_bits)
+    total = data_bits + parity
+    code = [0] * (total + 1)  # 1-based
+    for i, p in enumerate(data_pos):
+        code[p] = (data >> i) & 1
+    for k in range(parity):
+        pp = 1 << k
+        acc = 0
+        for p in range(1, total + 1):
+            if p != pp and (p & pp):
+                acc ^= code[p]
+        code[pp] = acc
+    overall = 0
+    for p in range(1, total + 1):
+        overall ^= code[p]
+    return code[1:], overall
+
+
+def run_corrector(ckt, codeword, overall):
+    vec = np.array([codeword + [overall]], dtype=bool)
+    res = LogicSimulator(ckt).run(vec)
+    data = res.output_bits(ckt.data_outputs)[0]
+    out = sum(int(b) << i for i, b in enumerate(data))
+    flags = {o: bool(res.output_bits([o])[0, 0]) for o in ckt.control_outputs}
+    return out, flags
+
+
+def test_positions_layout():
+    pos, parity = hamming_positions(16)
+    assert parity == 5
+    assert len(pos) == 16
+    assert all(p & (p - 1) for p in pos)  # no powers of two
+
+
+@pytest.mark.parametrize("data", [0, 1, 0xABCD, 0xFFFF, 0x8001])
+def test_clean_word_passes(data):
+    ckt = build_ecc_corrector(16)
+    code, overall = encode_word(data, 16)
+    out, _ = run_corrector(ckt, code, overall)
+    assert out == data
+
+
+@pytest.mark.parametrize("flip", [0, 3, 7, 11, 20])
+def test_single_error_corrected(flip):
+    ckt = build_ecc_corrector(16)
+    data = 0x5A3C
+    code, overall = encode_word(data, 16)
+    code = list(code)
+    code[flip] ^= 1
+    out, _ = run_corrector(ckt, code, overall)
+    assert out == data  # single bit error fully corrected
+
+
+def test_double_error_detected_not_miscorrected_into_silence():
+    ckt = build_ecc_corrector(16)
+    data = 0x1234
+    code, overall = encode_word(data, 16)
+    code = list(code)
+    code[2] ^= 1
+    code[9] ^= 1
+    vec = np.array([code + [overall]], dtype=bool)
+    res = LogicSimulator(ckt).run(vec)
+    # the double-error flag is among the control outputs of the
+    # c1908-like build; the plain corrector exposes it directly
+    ctl_bits = res.output_bits(ckt.control_outputs)[0]
+    assert ctl_bits.any()  # some checker output fires

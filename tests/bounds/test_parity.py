@@ -1,0 +1,64 @@
+"""Fault parity at primary outputs (Definition 7)."""
+
+import numpy as np
+
+from repro.bounds import Parity, fault_parity, parity_profile
+from repro.circuit import CircuitBuilder
+from repro.faults import StuckAtFault
+from repro.simulation import exhaustive_vectors
+
+
+def fig4_like():
+    """A fault with odd parity at one PO and even at another (the
+    paper's example around Definition 7)."""
+    b = CircuitBuilder("parity_demo")
+    a, x = b.input("a"), b.input("x")
+    f = b.AND(a, x, name="f")
+    o1 = b.BUF(f, name="o1")  # follows f: SA0 -> only D (odd)
+    o2 = b.NOT(f, name="o2")  # inverts: SA0 -> only D-bar (even)
+    b.output(o1)
+    b.output(o2)
+    return b.build()
+
+
+def test_odd_and_even_parity():
+    ckt = fig4_like()
+    vecs = exhaustive_vectors(2)
+    fault = StuckAtFault.stem("f", 0)
+    assert fault_parity(ckt, fault, "o1", vecs) is Parity.ODD
+    assert fault_parity(ckt, fault, "o2", vecs) is Parity.EVEN
+
+
+def test_both_parity():
+    b = CircuitBuilder()
+    a, x = b.input("a"), b.input("x")
+    z = b.XOR(a, x, name="z")
+    b.output(z)
+    ckt = b.build()
+    vecs = exhaustive_vectors(2)
+    # a SA0: with x=0, z goes 1->0 (D); with x=1, z goes 0->1 (D-bar)
+    assert fault_parity(ckt, StuckAtFault.stem("a", 0), "z", vecs) is Parity.BOTH
+
+
+def test_none_parity_for_unaffected_output():
+    ckt = fig4_like()
+    vecs = exhaustive_vectors(2)
+    prof = parity_profile(ckt, StuckAtFault.stem("a", 1), vecs)
+    # 'a' SA1 reaches both outputs; add an untouched circuit to check NONE
+    b = CircuitBuilder()
+    p, q = b.input("p"), b.input("q")
+    b.output(b.AND(p, q, name="m"))
+    b.output(b.OR(p, q, name="n"))
+    c2 = b.build()
+    vecs2 = exhaustive_vectors(2)
+    prof2 = parity_profile(c2, StuckAtFault.branch("p", "m", 0, 1), vecs2)
+    assert prof2["n"] is Parity.NONE
+    assert prof2["m"] is not Parity.NONE
+
+
+def test_sa_polarity_relationship():
+    """SA0 at a line feeding a buffer PO can only drop 1->0: odd."""
+    ckt = fig4_like()
+    vecs = exhaustive_vectors(2)
+    assert fault_parity(ckt, StuckAtFault.stem("f", 1), "o1", vecs) is Parity.EVEN
+    assert fault_parity(ckt, StuckAtFault.stem("f", 1), "o2", vecs) is Parity.ODD

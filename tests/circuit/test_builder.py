@@ -1,0 +1,109 @@
+"""CircuitBuilder idioms: buses, muxes, decoders, reduction trees."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def run_all(circuit):
+    vecs = exhaustive_vectors(len(circuit.inputs))
+    return vecs, LogicSimulator(circuit).run(vecs)
+
+
+def test_fresh_names_unique():
+    b = CircuitBuilder()
+    names = {b.fresh("x") for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_input_bus_and_output_bus_weights():
+    b = CircuitBuilder()
+    bus = b.input_bus("d", 4)
+    assert bus.width == 4
+    b.output_bus(bus)
+    c = b.build()
+    assert [c.output_weights[o] for o in c.outputs] == [1, 2, 4, 8]
+
+
+def test_single_input_nary_degenerates():
+    b = CircuitBuilder()
+    a = b.input("a")
+    assert b.AND(a) == a  # wire, no gate created
+    n = b.NAND(a)
+    assert b.circuit.gate(n).gtype is GateType.NOT
+
+
+def test_empty_nary_rejected():
+    b = CircuitBuilder()
+    with pytest.raises(CircuitError):
+        b.AND()
+
+
+def test_mux2_semantics():
+    b = CircuitBuilder()
+    s, a, c = b.input("s"), b.input("a"), b.input("b")
+    b.output(b.mux2(s, a, c))
+    vecs, res = run_all(b.build())
+    out = res.values_for(b.circuit.outputs[0])
+    for k, (sv, av, bv) in enumerate(vecs):
+        assert out[k] == (bv if sv else av)
+
+
+def test_mux_bus_width_check():
+    b = CircuitBuilder()
+    s = b.input("s")
+    x = b.input_bus("x", 2)
+    y = b.input_bus("y", 3)
+    with pytest.raises(CircuitError):
+        b.mux_bus(s, x, y)
+
+
+def test_reduce_tree_wide_or():
+    b = CircuitBuilder()
+    bus = b.input_bus("d", 6)
+    b.output(b.reduce_tree(GateType.OR, bus))
+    vecs, res = run_all(b.build())
+    out = res.values_for(b.circuit.outputs[0])
+    assert (out == vecs.any(axis=1)).all()
+
+
+def test_parity():
+    b = CircuitBuilder()
+    bus = b.input_bus("d", 5)
+    b.output(b.parity(bus))
+    vecs, res = run_all(b.build())
+    out = res.values_for(b.circuit.outputs[0])
+    assert (out == (vecs.sum(axis=1) % 2).astype(bool)).all()
+
+
+def test_equal_const():
+    b = CircuitBuilder()
+    bus = b.input_bus("d", 4)
+    b.output(b.equal_const(bus, 9))
+    vecs, res = run_all(b.build())
+    out = res.values_for(b.circuit.outputs[0])
+    vals = (vecs * [1, 2, 4, 8]).sum(axis=1)
+    assert (out == (vals == 9)).all()
+
+
+def test_decoder_one_hot():
+    b = CircuitBuilder()
+    sel = b.input_bus("s", 3)
+    lines = b.decoder(sel)
+    for l in lines:
+        b.output(l)
+    c = b.build()
+    vecs, res = run_all(c)
+    bits = res.output_bits()
+    vals = (vecs * [1, 2, 4]).sum(axis=1)
+    for k in range(len(vecs)):
+        hot = np.flatnonzero(bits[k])
+        assert list(hot) == [vals[k]]
+
+
+def test_reduce_tree_empty_rejected():
+    b = CircuitBuilder()
+    with pytest.raises(CircuitError):
+        b.reduce_tree(GateType.AND, [])

@@ -1,0 +1,46 @@
+"""Logic-depth metric."""
+
+from repro.circuit import CircuitBuilder, GateType
+
+
+def test_depth_chain():
+    b = CircuitBuilder()
+    a = b.input("a")
+    x = a
+    for _ in range(5):
+        x = b.NOT(x)
+    b.output(x)
+    assert b.build().depth() == 5
+
+
+def test_depth_ignores_buffers_and_constants():
+    b = CircuitBuilder()
+    a = b.input("a")
+    x = b.BUF(b.BUF(a))
+    y = b.AND(x, b.const(1))
+    b.output(y)
+    assert b.build().depth() == 1
+
+
+def test_depth_c17(c17):
+    assert c17.depth() == 3
+
+
+def test_depth_of_pi_output():
+    b = CircuitBuilder()
+    a = b.input("a")
+    b.output(a)
+    assert b.build().depth() == 0
+
+
+def test_depth_in_stats(adder4):
+    assert adder4.stats()["depth"] == adder4.depth() > 0
+
+
+def test_simplification_never_deepens(adder4):
+    from repro.faults import StuckAtFault
+    from repro.simplify import simplify_with_fault
+
+    for o in adder4.outputs[:3]:
+        simp = simplify_with_fault(adder4, StuckAtFault.stem(o, 0))
+        assert simp.depth() <= adder4.depth()

@@ -1,0 +1,154 @@
+"""Gate semantics: scalar evaluation, bit-parallel evaluation, attributes."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import (
+    ALL_ONES,
+    GateType,
+    constant_value,
+    controlled_response,
+    controlling_value,
+    evaluate,
+    evaluate_words,
+    inversion,
+    is_constant,
+)
+
+LOGIC_TYPES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def reference(gtype, values):
+    if gtype is GateType.AND:
+        return int(all(values))
+    if gtype is GateType.NAND:
+        return int(not all(values))
+    if gtype is GateType.OR:
+        return int(any(values))
+    if gtype is GateType.NOR:
+        return int(not any(values))
+    acc = 0
+    for v in values:
+        acc ^= v
+    if gtype is GateType.XOR:
+        return acc
+    if gtype is GateType.XNOR:
+        return acc ^ 1
+    raise AssertionError(gtype)
+
+
+@pytest.mark.parametrize("gtype", LOGIC_TYPES)
+@pytest.mark.parametrize("arity", [1, 2, 3, 4])
+def test_evaluate_matches_truth_table(gtype, arity):
+    for values in itertools.product((0, 1), repeat=arity):
+        assert evaluate(gtype, list(values)) == reference(gtype, values)
+
+
+def test_not_and_buf():
+    assert evaluate(GateType.NOT, [0]) == 1
+    assert evaluate(GateType.NOT, [1]) == 0
+    assert evaluate(GateType.BUF, [0]) == 0
+    assert evaluate(GateType.BUF, [1]) == 1
+
+
+def test_constants():
+    assert evaluate(GateType.CONST0, []) == 0
+    assert evaluate(GateType.CONST1, []) == 1
+    assert is_constant(GateType.CONST0)
+    assert is_constant(GateType.CONST1)
+    assert not is_constant(GateType.AND)
+    assert constant_value(GateType.CONST0) == 0
+    assert constant_value(GateType.CONST1) == 1
+    with pytest.raises(ValueError):
+        constant_value(GateType.AND)
+
+
+def test_evaluate_requires_inputs():
+    with pytest.raises(ValueError):
+        evaluate(GateType.AND, [])
+
+
+def test_controlling_values():
+    assert controlling_value(GateType.AND) == 0
+    assert controlling_value(GateType.NAND) == 0
+    assert controlling_value(GateType.OR) == 1
+    assert controlling_value(GateType.NOR) == 1
+    assert controlling_value(GateType.XOR) is None
+    assert controlling_value(GateType.NOT) is None
+
+
+def test_controlled_responses():
+    assert controlled_response(GateType.AND) == 0
+    assert controlled_response(GateType.NAND) == 1
+    assert controlled_response(GateType.OR) == 1
+    assert controlled_response(GateType.NOR) == 0
+    assert controlled_response(GateType.XOR) is None
+
+
+def test_inversion_flags():
+    assert inversion(GateType.NAND)
+    assert inversion(GateType.NOR)
+    assert inversion(GateType.XNOR)
+    assert inversion(GateType.NOT)
+    assert not inversion(GateType.AND)
+    assert not inversion(GateType.OR)
+    assert not inversion(GateType.XOR)
+    assert not inversion(GateType.BUF)
+
+
+@given(
+    gtype=st.sampled_from(LOGIC_TYPES + [GateType.NOT, GateType.BUF]),
+    data=st.data(),
+)
+def test_evaluate_words_matches_scalar(gtype, data):
+    arity = 1 if gtype in (GateType.NOT, GateType.BUF) else data.draw(
+        st.integers(min_value=1, max_value=4)
+    )
+    bits = data.draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=arity, max_size=arity),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    n = len(bits)
+    words = []
+    for k in range(arity):
+        acc = 0
+        for i, row in enumerate(bits):
+            acc |= row[k] << i
+        w = np.zeros((n + 63) // 64, dtype=np.uint64)
+        for wi in range(len(w)):
+            w[wi] = (acc >> (64 * wi)) & 0xFFFFFFFFFFFFFFFF
+        words.append(w)
+    out = evaluate_words(gtype, words)
+    for i, row in enumerate(bits):
+        got = int(out[i // 64] >> np.uint64(i % 64)) & 1
+        assert got == evaluate(gtype, row)
+
+
+def test_evaluate_words_constants():
+    shape_src = [np.zeros(3, dtype=np.uint64)]
+    z = evaluate_words(GateType.CONST0, shape_src)
+    o = evaluate_words(GateType.CONST1, shape_src)
+    assert (z == 0).all()
+    assert (o == ALL_ONES).all()
+
+
+def test_evaluate_words_out_param():
+    a = np.array([np.uint64(0b1010)], dtype=np.uint64)
+    b = np.array([np.uint64(0b0110)], dtype=np.uint64)
+    out = np.zeros(1, dtype=np.uint64)
+    res = evaluate_words(GateType.XOR, [a, b], out=out)
+    assert res is out
+    assert int(out[0]) & 0xF == 0b1100

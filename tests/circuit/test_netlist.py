@@ -1,0 +1,174 @@
+"""Circuit construction, validation, derived structure, mutation."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, GateType, gate_area
+from repro.circuit.netlist import Gate
+
+
+def test_basic_construction(c17):
+    assert c17.inputs == ("G1", "G2", "G3", "G6", "G7")
+    assert c17.outputs == ("G22", "G23")
+    assert c17.num_gates == 6
+    assert len(c17) == 6
+    assert c17.is_input("G1")
+    assert not c17.is_input("G10")
+    assert c17.is_output("G22")
+    assert c17.has_signal("G16")
+    assert not c17.has_signal("nope")
+
+
+def test_duplicate_signal_rejected():
+    c = Circuit()
+    c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_gate("a", GateType.NOT, ("a",))
+
+
+def test_gate_arity_validation():
+    with pytest.raises(CircuitError):
+        Gate("g", GateType.NOT, ("a", "b"))
+    with pytest.raises(CircuitError):
+        Gate("g", GateType.AND, ())
+    with pytest.raises(CircuitError):
+        Gate("g", GateType.CONST0, ("a",))
+
+
+def test_driver_and_gate_access(c17):
+    assert c17.driver("G1") is None
+    g = c17.gate("G10")
+    assert g.gtype is GateType.NAND
+    assert g.inputs == ("G1", "G3")
+    with pytest.raises(CircuitError):
+        c17.gate("G1")
+
+
+def test_topological_order(c17):
+    order = c17.topological_order()
+    pos = {n: i for i, n in enumerate(order)}
+    for name, gate in c17.gates.items():
+        for src in gate.inputs:
+            if src in pos:
+                assert pos[src] < pos[name]
+
+
+def test_cycle_detected():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("x", GateType.AND, ("a", "y"))
+    c.add_gate("y", GateType.AND, ("a", "x"))
+    with pytest.raises(CircuitError):
+        c.topological_order()
+
+
+def test_unknown_input_detected():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("x", GateType.AND, ("a", "ghost"))
+    with pytest.raises(CircuitError):
+        c.topological_order()
+
+
+def test_levels(c17):
+    lvl = c17.levels()
+    assert lvl["G1"] == 0
+    assert lvl["G10"] == 1
+    assert lvl["G16"] == 2
+    assert lvl["G22"] == 3
+
+
+def test_fanout_map_and_stems(c17):
+    fan = c17.fanout_map()
+    assert sorted(fan["G11"]) == [("G16", 1), ("G19", 0)]
+    assert c17.is_stem("G11")
+    assert c17.is_stem("G16")  # feeds G22 and G23
+    assert not c17.is_stem("G10")
+    assert c17.consumer_count("G22") == 1  # PO reference only
+
+
+def test_validate_output_exists():
+    c = Circuit()
+    c.add_input("a")
+    c.add_output("missing")
+    with pytest.raises(CircuitError):
+        c.validate()
+
+
+def test_area_model(c17, adder4):
+    # six 2-input NANDs
+    assert c17.area() == 12
+    assert gate_area(Gate("g", GateType.NOT, ("a",))) == 1
+    assert gate_area(Gate("g", GateType.BUF, ("a",))) == 0
+    assert gate_area(Gate("g", GateType.CONST0, ())) == 0
+    assert gate_area(Gate("g", GateType.AND, ("a", "b", "c"))) == 3
+    assert adder4.area() == sum(gate_area(g) for g in adder4.gates.values())
+
+
+def test_mutations(c17):
+    c = c17.copy()
+    c.replace_gate("G10", GateType.AND, ("G1", "G3"))
+    assert c.gate("G10").gtype is GateType.AND
+    c.tie_constant("G19", 1)
+    assert c.constant_output_value("G19") == 1
+    assert c.constant_output_value("G10") is None
+    c.rewire_pin("G22", 0, "G16")
+    assert c.gate("G22").inputs == ("G16", "G16")
+    # original untouched
+    assert c17.gate("G10").gtype is GateType.NAND
+
+
+def test_remove_gate_guards(c17):
+    c = c17.copy()
+    with pytest.raises(CircuitError):
+        c.remove_gate("G11")  # still feeds gates
+    with pytest.raises(CircuitError):
+        c.remove_gate("G22")  # primary output
+    # disconnect G10's consumer, then removal works
+    c.replace_gate("G22", GateType.BUF, ("G16",))
+    c.remove_gate("G10")
+    assert not c.has_signal("G10")
+
+
+def test_tie_constant_rejects_inputs(c17):
+    c = c17.copy()
+    with pytest.raises(CircuitError):
+        c.tie_constant("G1", 0)
+
+
+def test_rename_output(adder4):
+    c = adder4.copy()
+    old = c.outputs[0]
+    c.add_gate("alias", GateType.BUF, (old,))
+    w = c.output_weights[old]
+    c.rename_output(old, "alias")
+    assert "alias" in c.outputs
+    assert old not in c.outputs
+    assert c.output_weights["alias"] == w
+    assert "alias" in c.data_outputs
+    with pytest.raises(CircuitError):
+        c.rename_output("nonexistent", "alias")
+
+
+def test_copy_is_independent(c17):
+    c = c17.copy("clone")
+    c.tie_constant("G22", 0)
+    assert c17.constant_output_value("G22") is None
+    assert c.name == "clone"
+
+
+def test_stats(c17):
+    s = c17.stats()
+    assert s["inputs"] == 5
+    assert s["outputs"] == 2
+    assert s["gates"] == 6
+    assert s["gates_NAND"] == 6
+    assert s["area"] == 12
+
+
+def test_control_outputs(adder4_ctl):
+    assert len(adder4_ctl.control_outputs) == 1
+    assert set(adder4_ctl.data_outputs) | set(adder4_ctl.control_outputs) == set(
+        adder4_ctl.outputs
+    )

@@ -1,0 +1,49 @@
+"""Cone extraction (subcircuit)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import subcircuit
+from repro.benchlib import random_circuit
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def test_subcircuit_c17(c17):
+    sub = subcircuit(c17, ["G22"])
+    # keeps the full PI list for vector compatibility
+    assert sub.inputs == c17.inputs
+    assert set(sub.gates) == {"G10", "G11", "G16", "G22"}
+    assert sub.outputs == ("G22",)
+    vecs = exhaustive_vectors(5)
+    a = LogicSimulator(c17).run(vecs).values_for("G22")
+    b = LogicSimulator(sub).run(vecs).values_for("G22")
+    assert (a == b).all()
+
+
+def test_subcircuit_internal_root(c17):
+    sub = subcircuit(c17, ["G11"])
+    assert set(sub.gates) == {"G11"}
+    assert sub.outputs == ("G11",)
+
+
+def test_subcircuit_weights_carry_over(adder4):
+    o = adder4.outputs[3]
+    sub = subcircuit(adder4, [o])
+    assert sub.output_weights[o] == adder4.output_weights[o]
+    assert o in sub.data_outputs
+
+
+def test_subcircuit_random_equivalence(rng):
+    for _ in range(10):
+        ckt = random_circuit(
+            num_inputs=int(rng.integers(3, 6)),
+            num_gates=int(rng.integers(5, 25)),
+            rng=rng,
+        )
+        roots = list(ckt.outputs[: max(1, len(ckt.outputs) // 2)])
+        sub = subcircuit(ckt, roots)
+        vecs = exhaustive_vectors(len(ckt.inputs))
+        a = LogicSimulator(ckt).run(vecs).output_bits(roots)
+        b = LogicSimulator(sub).run(vecs).output_bits(roots)
+        assert (a == b).all()
+        assert sub.num_gates <= ckt.num_gates

@@ -1,0 +1,97 @@
+"""Structural Verilog writer/reader."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.verilog import (
+    VerilogParseError,
+    dump_verilog,
+    dumps_verilog,
+    load_verilog,
+    loads_verilog,
+)
+from repro.benchlib import random_circuit
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def same_function(a, b):
+    vecs = exhaustive_vectors(len(a.inputs))
+    ra = LogicSimulator(a).run(vecs).output_bits(a.outputs)
+    rb = LogicSimulator(b).run(vecs).output_bits(b.outputs)
+    return bool((ra == rb).all())
+
+
+def test_emit_structure(c17):
+    text = dumps_verilog(c17)
+    assert text.startswith("// generated")
+    assert "module c17 (" in text
+    assert "input G1, G2, G3, G6, G7;" in text
+    assert "output G22, G23;" in text
+    assert text.count("nand ") == 6
+    assert text.strip().endswith("endmodule")
+
+
+def test_roundtrip_c17(c17):
+    back = loads_verilog(dumps_verilog(c17))
+    assert back.inputs == c17.inputs
+    assert back.outputs == c17.outputs
+    assert same_function(c17, back)
+
+
+def test_roundtrip_constants_and_buffers():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder("mix")
+    a = b.input("a")
+    z = b.const(0)
+    o = b.const(1)
+    b.output(b.BUF(a, name="buffered"))
+    b.output(b.OR(z, b.AND(a, o), name="mixed"))
+    ckt = b.build()
+    back = loads_verilog(dumps_verilog(ckt))
+    assert same_function(ckt, back)
+
+
+def test_roundtrip_random_circuits(rng):
+    for _ in range(8):
+        ckt = random_circuit(
+            num_inputs=int(rng.integers(2, 6)),
+            num_gates=int(rng.integers(3, 20)),
+            rng=rng,
+        )
+        back = loads_verilog(dumps_verilog(ckt))
+        assert same_function(ckt, back)
+
+
+def test_file_roundtrip(tmp_path, c17):
+    path = tmp_path / "c17.v"
+    dump_verilog(c17, path)
+    back = load_verilog(path)
+    assert back.name == "c17"
+    assert same_function(c17, back)
+
+
+def test_module_name_override(c17):
+    text = dumps_verilog(c17, module_name="custom_top")
+    assert "module custom_top (" in text
+
+
+def test_parse_errors():
+    with pytest.raises(VerilogParseError):
+        loads_verilog("this is not verilog")
+    with pytest.raises(VerilogParseError):
+        loads_verilog("module m (a); input a; initial begin end endmodule")
+
+
+def test_escaped_identifiers():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder("esc")
+    a = b.input("sig.with-dots")
+    b.output(b.NOT(a, name="out$ok"))
+    ckt = b.build()
+    text = dumps_verilog(ckt)
+    assert "\\sig.with-dots " in text
+    back = loads_verilog(text)
+    assert "sig.with-dots" in back.inputs
+    assert same_function(ckt, back)

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.circuit import Circuit, CircuitBuilder
+
+# Deterministic property-based testing: the same examples run every
+# time, so the suite is reproducible across machines and CI runs.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def build_c17() -> Circuit:
+    """The ISCAS85 c17 toy benchmark (6 NAND gates)."""
+    b = CircuitBuilder("c17")
+    g1, g2, g3, g6, g7 = (b.input(n) for n in ["G1", "G2", "G3", "G6", "G7"])
+    g10 = b.NAND(g1, g3, name="G10")
+    g11 = b.NAND(g3, g6, name="G11")
+    g16 = b.NAND(g2, g11, name="G16")
+    g19 = b.NAND(g11, g7, name="G19")
+    g22 = b.NAND(g10, g16, name="G22")
+    g23 = b.NAND(g16, g19, name="G23")
+    b.output(g22)
+    b.output(g23)
+    return b.build()
+
+
+def build_ripple_adder(bits: int, control_parity: bool = False) -> Circuit:
+    """Weighted ripple-carry adder (sum bits + carry out)."""
+    b = CircuitBuilder(f"rca{bits}")
+    a = b.input_bus("a", bits)
+    c = b.input_bus("b", bits)
+    carry = None
+    sums = []
+    for i in range(bits):
+        if carry is None:
+            s = b.XOR(a[i], c[i])
+            co = b.AND(a[i], c[i])
+        else:
+            p = b.XOR(a[i], c[i])
+            s = b.XOR(p, carry)
+            co = b.OR(b.AND(a[i], c[i]), b.AND(p, carry))
+        sums.append(s)
+        carry = co
+    sums.append(carry)
+    b.output_bus(sums)
+    if control_parity:
+        b.output(b.parity(list(a) + list(c)), weight=1, is_data=False)
+    return b.build()
+
+
+@pytest.fixture
+def c17() -> Circuit:
+    return build_c17()
+
+
+@pytest.fixture
+def adder4() -> Circuit:
+    return build_ripple_adder(4)
+
+
+@pytest.fixture
+def adder4_ctl() -> Circuit:
+    return build_ripple_adder(4, control_parity=True)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20110314)

@@ -1,0 +1,61 @@
+"""Top-level API: one-call simplification, verification, reporting."""
+
+import pytest
+
+from repro import (
+    GreedyConfig,
+    format_report,
+    simplify_for_error_tolerance,
+    verify_simplification,
+)
+from tests.conftest import build_ripple_adder
+
+
+@pytest.fixture(scope="module")
+def result():
+    ckt = build_ripple_adder(5)
+    return simplify_for_error_tolerance(
+        ckt,
+        rs_pct_threshold=5.0,
+        config=GreedyConfig(num_vectors=1500, seed=2, candidate_limit=80),
+    )
+
+
+def test_reduction_achieved(result):
+    assert result.area_reduction > 0
+    assert result.faults
+
+
+def test_best_of_both_foms(result):
+    """The API returns max over the two FOM runs."""
+    from repro.simplify import circuit_simplify
+
+    for fom in ("area", "area_per_rs"):
+        single = circuit_simplify(
+            result.original,
+            rs_threshold=result.rs_threshold,
+            config=GreedyConfig(
+                num_vectors=1500, seed=2, candidate_limit=80, fom=fom
+            ),
+        )
+        assert result.area_reduction >= single.area_reduction
+
+
+def test_verification(result):
+    assert verify_simplification(result, exhaustive=True)
+
+
+def test_report_rendering(result):
+    text = format_report(result)
+    assert result.original.name in text
+    assert "area:" in text
+    assert "RS threshold" in text
+    assert str(len(result.faults)) in text
+    # one line per iteration
+    assert text.count("ER=") >= len(result.iterations)
+
+
+def test_argument_validation():
+    ckt = build_ripple_adder(3)
+    with pytest.raises(ValueError):
+        simplify_for_error_tolerance(ckt)

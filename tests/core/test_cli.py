@@ -1,0 +1,105 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.circuit import dump_bench
+from repro.cli import main
+from tests.conftest import build_ripple_adder
+
+
+@pytest.fixture
+def netlist(tmp_path):
+    path = tmp_path / "adder4.bench"
+    dump_bench(build_ripple_adder(4), path)
+    return str(path)
+
+
+def test_stats(netlist, capsys):
+    assert main(["stats", netlist]) == 0
+    out = capsys.readouterr().out
+    assert "gates" in out
+    assert "RS_max: 31" in out
+    assert "datapath %: 100.00" in out
+
+
+def test_simplify_roundtrip(netlist, tmp_path, capsys):
+    out_path = tmp_path / "approx.bench"
+    rc = main(
+        [
+            "simplify",
+            netlist,
+            "--rs-pct",
+            "5",
+            "--vectors",
+            "1000",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "area:" in out
+    assert out_path.exists()
+    from repro.circuit import load_bench
+
+    load_bench(out_path).validate()
+
+
+def test_simplify_requires_one_threshold(netlist, capsys):
+    assert main(["simplify", netlist]) == 2
+    assert main(["simplify", netlist, "--rs", "1", "--rs-pct", "1"]) == 2
+
+
+def test_redundancy_command(netlist, capsys):
+    assert main(["redundancy", netlist]) == 0
+    out = capsys.readouterr().out
+    assert "removed 0 redundant" in out  # the adder is irredundant
+
+
+def test_table2_single_row(capsys):
+    rc = main(
+        [
+            "table2",
+            "c880",
+            "--rs-pct",
+            "1",
+            "--vectors",
+            "800",
+            "--candidate-limit",
+            "40",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "c880-like" in out
+    assert "ours" in out and "paper" in out
+
+
+def test_dct_study_small(capsys):
+    assert main(["dct-study", "--size", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "Figure 3" in out
+    assert "PSNR" in out
+
+
+def test_er_tests_command(netlist, tmp_path, capsys):
+    out_file = tmp_path / "vectors.txt"
+    rc = main(
+        ["er-tests", netlist, "--er", "0.2", "--candidates", "256",
+         "-o", str(out_file)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "test set:" in out
+    lines = out_file.read_text().splitlines()
+    assert lines and all(set(l) <= {"0", "1"} and len(l) == 8 for l in lines)
+
+
+def test_yield_command(netlist, capsys):
+    rc = main(
+        ["yield", netlist, "--chips", "60", "--density", "0.8",
+         "--rs-pct", "2", "--vectors", "800"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "classical" in out and "effective" in out

@@ -1,0 +1,118 @@
+"""Faulty-adder model and the direct 2-D DCT hardware.
+
+The key cross-module check: the word-level :class:`FaultyAdder` with k
+LSBs stuck at 0 must behave *bit-for-bit* like a gate-level ripple
+adder with the corresponding stuck-at faults injected through the
+simplification machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dct import ADDER_WIDTH, DctHardware, FaultyAdder, dct2
+from repro.dct.hardware import FINAL_FRAC
+from repro.circuit import CircuitBuilder
+from repro.faults import StuckAtFault
+from repro.simulation import LogicSimulator, random_vectors
+
+
+def test_truncate_metrics():
+    a = FaultyAdder.truncate(4)
+    assert a.es == 15
+    assert a.er == pytest.approx(1 - 2**-4)
+    assert a.rs == pytest.approx((1 - 2**-4) * 15)
+    assert not a.is_exact
+    assert FaultyAdder.exact().rs == 0.0
+
+
+def test_stuck_masks_disjoint():
+    with pytest.raises(ValueError):
+        FaultyAdder(stuck0=1, stuck1=1)
+
+
+def test_truncate_bounds():
+    with pytest.raises(ValueError):
+        FaultyAdder.truncate(ADDER_WIDTH + 1)
+
+
+def test_add_signed_semantics():
+    a = FaultyAdder.exact(width=8)
+    assert a.add(100, 27) == 127
+    assert a.add(-100, -28) == -128
+    assert a.add(127, 1) == -128  # two's complement wraparound
+    t = FaultyAdder.truncate(3, width=8)
+    assert t.add(5, 2) == 0  # 7 & ~0b111
+    assert t.add(5, 4) == 8
+
+
+def test_add_array_matches_scalar(rng):
+    t = FaultyAdder(width=12, stuck0=0b101, stuck1=0b1000)
+    a = rng.integers(-2000, 2000, 500)
+    b = rng.integers(-2000, 2000, 500)
+    arr = t.add_array(a, b)
+    for k in range(500):
+        assert arr[k] == t.add(int(a[k]), int(b[k]))
+
+
+def test_faulty_adder_matches_gate_level(rng):
+    """Word-level truncation == gate-level ripple adder with SA0 faults
+    on its low-order sum outputs."""
+    width, k = 10, 3
+    b = CircuitBuilder("rc")
+    x = b.input_bus("x", width)
+    y = b.input_bus("y", width)
+    from repro.benchlib import ripple_carry_adder
+
+    out = ripple_carry_adder(b, x, y)
+    sums = list(out)[:width]  # drop carry-out: model wraps at width
+    b.output_bus(sums)
+    ckt = b.build()
+    faults = [StuckAtFault.stem(sums[i], 0) for i in range(k)]
+    vecs = random_vectors(2 * width, 400, rng)
+    res = LogicSimulator(ckt).run(vecs, faults)
+    bits = res.output_bits()
+    model = FaultyAdder.truncate(k, width=width)
+    for t in range(400):
+        a_val = sum(int(vecs[t, i]) << i for i in range(width))
+        b_val = sum(int(vecs[t, width + i]) << i for i in range(width))
+        got = sum(int(bits[t, i]) << i for i in range(width))
+        expect = model.add(a_val, b_val) % (1 << width)
+        assert got == expect
+
+
+def test_exact_hardware_close_to_reference(rng):
+    blks = rng.integers(0, 256, (6, 8, 8)).astype(np.int64)
+    hw = DctHardware()
+    got = hw.transform_blocks(blks)
+    ref = dct2(blks.astype(np.float64) - 128.0)
+    # fixed-point error: 8-bit coefficient rounding (up to ~0.5 % of a
+    # coefficient that can reach 1024) + final renormalization
+    assert np.abs(got - ref).max() < 8.0
+    # and the error is small relative to typical quantization steps
+    assert np.abs(got - ref).mean() < 1.0
+
+
+def test_faulty_cell_only_affects_its_output(rng):
+    blks = rng.integers(0, 256, (4, 8, 8)).astype(np.int64)
+    hw_ok = DctHardware()
+    hw_bad = DctHardware({(3, 5): FaultyAdder.truncate(8)})
+    a = hw_ok.transform_blocks(blks)
+    c = hw_bad.transform_blocks(blks)
+    diff = np.abs(a - c)
+    mask = np.zeros((8, 8), dtype=bool)
+    mask[3, 5] = True
+    assert (diff[:, ~mask] == 0).all()
+    assert diff[:, 3, 5].max() <= (1 << 8) / (1 << FINAL_FRAC)
+
+
+def test_rs_sum_accumulates():
+    hw = DctHardware(
+        {(0, 1): FaultyAdder.truncate(2), (1, 0): FaultyAdder.truncate(3)}
+    )
+    expected = FaultyAdder.truncate(2).rs + FaultyAdder.truncate(3).rs
+    assert hw.rs_sum == pytest.approx(expected)
+
+
+def test_adder_at_default_exact():
+    hw = DctHardware()
+    assert hw.adder_at(4, 4).is_exact

@@ -1,0 +1,51 @@
+"""Synthetic imagery and PSNR."""
+
+import numpy as np
+import pytest
+
+from repro.dct import mse, psnr, test_image as make_test_image
+
+
+def test_image_properties():
+    img = make_test_image(128)
+    assert img.shape == (128, 128)
+    assert img.dtype == np.uint8
+    # photo-like: uses a wide range of gray levels
+    assert img.min() < 40
+    assert img.max() > 200
+    assert 60 < img.mean() < 200
+
+
+def test_image_deterministic():
+    assert (make_test_image(64) == make_test_image(64)).all()
+    assert not (make_test_image(64, seed=1) == make_test_image(64, seed=2)).all()
+
+
+def test_image_size_validation():
+    with pytest.raises(ValueError):
+        make_test_image(100)
+
+
+def test_psnr_identity():
+    img = make_test_image(64)
+    assert psnr(img, img) == float("inf")
+    assert mse(img, img) == 0.0
+
+
+def test_psnr_known_value():
+    a = np.zeros((8, 8))
+    b = np.full((8, 8), 16.0)
+    # MSE = 256 -> PSNR = 10 log10(255^2/256)
+    assert psnr(a, b) == pytest.approx(10 * np.log10(255**2 / 256))
+
+
+def test_psnr_monotone_in_noise(rng):
+    img = make_test_image(64).astype(np.float64)
+    n1 = img + rng.normal(0, 2, img.shape)
+    n2 = img + rng.normal(0, 8, img.shape)
+    assert psnr(img, n1) > psnr(img, n2)
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        mse(np.zeros((4, 4)), np.zeros((8, 8)))

@@ -1,0 +1,141 @@
+"""JPEG pipeline layers: zigzag, RLE, Huffman, end-to-end codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dct import (
+    BASE_QUANT,
+    HuffmanCodec,
+    JpegCodec,
+    psnr,
+    quant_table,
+    rle_decode,
+    rle_encode,
+    test_image as make_test_image,
+    unzigzag,
+    zigzag,
+    zigzag_order,
+)
+
+
+def test_quant_table_quality_scaling():
+    assert (quant_table(50) == np.clip(BASE_QUANT, 1, 255)).all()
+    assert quant_table(90).mean() < quant_table(50).mean()
+    assert quant_table(10).mean() > quant_table(50).mean()
+    assert (quant_table(100) >= 1).all()
+    with pytest.raises(ValueError):
+        quant_table(0)
+
+
+def test_zigzag_order_canonical_prefix():
+    order = zigzag_order()
+    assert order[:6] == [(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+    assert len(order) == 64
+    assert len(set(order)) == 64
+
+
+def test_zigzag_roundtrip(rng):
+    block = rng.integers(-100, 100, (8, 8))
+    assert (unzigzag(zigzag(block)) == block).all()
+
+
+@given(
+    st.lists(st.integers(-255, 255), min_size=64, max_size=64).map(
+        lambda l: [v if abs(v) > 200 else (0 if v % 3 else v) for v in l]
+    )
+)
+def test_rle_roundtrip(flat):
+    assert rle_decode(rle_encode(flat)) == [int(v) for v in flat]
+
+
+def test_rle_all_zero_ac():
+    flat = [5] + [0] * 63
+    syms = rle_encode(flat)
+    assert syms == [("DC", 5), ("EOB",)]
+    assert rle_decode(syms) == flat
+
+
+def test_rle_long_zero_runs():
+    flat = [1] + [0] * 20 + [7] + [0] * 42
+    syms = rle_encode(flat)
+    assert ("ZRL",) in syms
+    assert rle_decode(syms) == flat
+
+
+@given(
+    st.lists(
+        st.sampled_from(["a", "b", "c", "d", ("AC", 0, 1)]),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_huffman_roundtrip(symbols):
+    freqs = {}
+    for s in symbols:
+        freqs[s] = freqs.get(s, 0) + 1
+    codec = HuffmanCodec.from_frequencies(freqs)
+    data, nbits = codec.encode(symbols)
+    assert codec.decode(data, nbits) == symbols
+
+
+def test_huffman_single_symbol():
+    codec = HuffmanCodec.from_frequencies({"x": 10})
+    data, nbits = codec.encode(["x", "x", "x"])
+    assert codec.decode(data, nbits) == ["x", "x", "x"]
+
+
+def test_huffman_optimality_order():
+    codec = HuffmanCodec.from_frequencies({"common": 100, "rare": 1, "mid": 10})
+    assert codec.lengths["common"] <= codec.lengths["mid"] <= codec.lengths["rare"]
+
+
+def test_huffman_prefix_free():
+    codec = HuffmanCodec.from_frequencies({c: i + 1 for i, c in enumerate("abcdefg")})
+    codes = [format(c, f"0{l}b") for c, l in codec.codes.values()]
+    for i, a in enumerate(codes):
+        for j, b in enumerate(codes):
+            if i != j:
+                assert not b.startswith(a)
+
+
+def test_codec_roundtrip_quality():
+    img = make_test_image(64)
+    recon, enc = JpegCodec(quality=90).roundtrip(img)
+    assert recon.shape == img.shape
+    assert recon.dtype == np.uint8
+    assert psnr(img, recon) > 30.0
+    assert enc.compressed_bytes < img.size  # it actually compresses
+
+
+def test_codec_quality_monotone():
+    img = make_test_image(64)
+    p, sizes = [], []
+    for q in (30, 60, 90):
+        recon, enc = JpegCodec(quality=q).roundtrip(img)
+        p.append(psnr(img, recon))
+        sizes.append(enc.compressed_bytes)
+    assert p[0] < p[2]  # higher quality -> higher fidelity
+    assert sizes[0] < sizes[2]  # and a bigger payload
+
+
+def test_codec_custom_dct_stage():
+    img = make_test_image(64)
+    calls = []
+
+    def stage(blks):
+        calls.append(blks.shape)
+        from repro.dct import dct2
+
+        return dct2(blks.astype(np.float64) - 128.0)
+
+    codec = JpegCodec(quality=85, dct_stage=stage)
+    recon, _ = codec.roundtrip(img)
+    assert calls and calls[0] == (64, 8, 8)
+    assert psnr(img, recon) > 30.0
+
+
+def test_compression_ratio_reported():
+    img = make_test_image(64)
+    _, enc = JpegCodec(quality=90).roundtrip(img)
+    assert enc.compression_ratio() > 1.0

@@ -1,0 +1,93 @@
+"""The Section II study: grading, PSNR-vs-RS trend, Fig. 2 cases."""
+
+import numpy as np
+import pytest
+
+from repro.dct import (
+    ACCEPTABLE_PSNR,
+    GradedGrid,
+    figure2_configurations,
+    graded_grid,
+    psnr_vs_rs_curve,
+    render_grid,
+    run_configuration,
+    test_image as make_test_image,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return make_test_image(128)
+
+
+def test_graded_grid_structure():
+    grid = graded_grid(perfect_cells=4, base_truncation=6, step=0.5)
+    assert grid.faulty_cells == 60
+    # the DC corner cells are perfect
+    assert grid.truncation[0, 0] == 0
+    # truncation grows away from the corner
+    assert grid.truncation[7, 7] >= grid.truncation[2, 2] > 0
+    assert grid.rs_sum > 0
+
+
+def test_perfect_grid():
+    grid = GradedGrid(np.zeros((8, 8), dtype=np.int64))
+    assert grid.faulty_cells == 0
+    assert grid.rs_sum == 0.0
+
+
+def test_run_configuration(image):
+    grid = graded_grid(4, base_truncation=4, step=0.5)
+    pt = run_configuration(grid, image)
+    assert pt.faulty_cells == 60
+    assert pt.rs_sum == pytest.approx(grid.rs_sum)
+    assert 0 < pt.psnr_db < 100
+    assert pt.compressed_bytes > 0
+
+
+def test_psnr_vs_rs_inverse_trend(image):
+    """Fig. 3: PSNR decreases as RS (Sum) increases."""
+    pts = psnr_vs_rs_curve(image, num_points=7)
+    rs = [p.rs_sum for p in pts]
+    ps = [p.psnr_db for p in pts]
+    assert all(a < b for a, b in zip(rs, rs[1:]))  # RS strictly grows
+    # PSNR non-increasing up to small numerical wiggle
+    assert all(a >= b - 0.5 for a, b in zip(ps, ps[1:]))
+    assert ps[0] > ACCEPTABLE_PSNR
+    assert ps[-1] < ACCEPTABLE_PSNR
+
+
+def test_crossing_magnitude(image):
+    """The 30 dB crossing lands within an order of magnitude of the
+    paper's RS(Sum) ~ 1e5."""
+    pts = psnr_vs_rs_curve(image, num_points=11)
+    crossing = None
+    for a, b in zip(pts, pts[1:]):
+        if a.psnr_db >= ACCEPTABLE_PSNR > b.psnr_db:
+            crossing = np.sqrt(a.rs_sum * b.rs_sum)
+            break
+    assert crossing is not None
+    assert 1e3 <= crossing <= 1e6
+
+
+def test_figure2_cases(image):
+    cases = figure2_configurations(image)
+    assert len(cases) == 3
+    (ga, pa), (gb, pb), (gc, pc) = cases
+    assert pa.faulty_cells == 0
+    assert pb.faulty_cells == 60
+    assert pc.faulty_cells == 60
+    # (a) pristine, (b) acceptable, (c) unacceptable -- the paper's story
+    assert pa.psnr_db > pb.psnr_db > pc.psnr_db
+    assert pa.acceptable
+    assert pb.acceptable
+    assert not pc.acceptable
+
+
+def test_render_grid():
+    grid = graded_grid(4, base_truncation=6, step=0.5)
+    art = render_grid(grid)
+    lines = art.splitlines()
+    assert len(lines) == 8
+    assert "." in art  # perfect cells visible
+    assert any(ch.isdigit() or ch.isalpha() for ch in art)

@@ -1,0 +1,60 @@
+"""DCT reference vs. scipy; block packing."""
+
+import numpy as np
+import pytest
+from scipy.fft import dctn, idctn
+
+from repro.dct import blocks, dct2, dct_matrix, fixed_point_matrix, idct2, unblocks
+
+
+def test_dct_matrix_orthonormal():
+    c = dct_matrix()
+    assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+
+def test_dct2_matches_scipy(rng):
+    block = rng.uniform(-128, 127, (8, 8))
+    assert np.allclose(dct2(block), dctn(block, norm="ortho"), atol=1e-9)
+
+
+def test_idct2_matches_scipy(rng):
+    coeffs = rng.uniform(-1000, 1000, (8, 8))
+    assert np.allclose(idct2(coeffs), idctn(coeffs, norm="ortho"), atol=1e-9)
+
+
+def test_roundtrip(rng):
+    block = rng.uniform(-128, 127, (8, 8))
+    assert np.allclose(idct2(dct2(block)), block, atol=1e-9)
+
+
+def test_batched_transform(rng):
+    batch = rng.uniform(-128, 127, (5, 8, 8))
+    out = dct2(batch)
+    for k in range(5):
+        assert np.allclose(out[k], dct2(batch[k]))
+
+
+def test_fixed_point_matrix_accuracy():
+    fp = fixed_point_matrix(frac_bits=8)
+    assert fp.dtype == np.int64
+    assert np.abs(fp / 256.0 - dct_matrix()).max() < 1 / 256.0
+
+
+def test_blocks_roundtrip(rng):
+    img = rng.integers(0, 256, (32, 24)).astype(np.uint8)
+    blks = blocks(img)
+    assert blks.shape == (12, 8, 8)
+    assert (unblocks(blks, img.shape) == img).all()
+
+
+def test_blocks_order():
+    img = np.zeros((16, 16), dtype=np.uint8)
+    img[0:8, 8:16] = 7
+    blks = blocks(img)
+    assert (blks[1] == 7).all()
+    assert (blks[0] == 0).all()
+
+
+def test_blocks_requires_multiple_of_8():
+    with pytest.raises(ValueError):
+        blocks(np.zeros((10, 16)))

@@ -1,0 +1,107 @@
+"""Bridging fault model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.faults.bridging import BridgingFault, inject_bridging, sample_bridging_faults
+from repro.metrics import MetricsEstimator
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def two_net_circuit():
+    b = CircuitBuilder("pair")
+    p, q, r = b.input("p"), b.input("q"), b.input("r")
+    x = b.AND(p, q, name="x")
+    y = b.OR(q, r, name="y")
+    b.output(b.XOR(x, y, name="z1"))
+    b.output(b.BUF(y, name="z2"), weight=2)
+    return b.build()
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        BridgingFault("a", "a")
+    with pytest.raises(ValueError):
+        BridgingFault("a", "b", kind="resistive")
+
+
+def test_wired_and_semantics():
+    ckt = two_net_circuit()
+    bridged = inject_bridging(ckt, [BridgingFault("x", "y", "wired_and")])
+    vecs = exhaustive_vectors(3)
+    good = LogicSimulator(ckt).run(vecs)
+    bad = LogicSimulator(bridged).run(vecs)
+    xv = good.values_for("x")
+    yv = good.values_for("y")
+    resolved = xv & yv
+    # z1 = XOR of the two resolved (equal) values == 0 always
+    z1 = bad.output_bits(bridged.outputs)[:, 0]
+    assert not z1.any()
+    z2 = bad.output_bits(bridged.outputs)[:, 1]
+    assert (z2 == resolved).all()
+
+
+def test_wired_or_semantics():
+    ckt = two_net_circuit()
+    bridged = inject_bridging(ckt, [BridgingFault("x", "y", "wired_or")])
+    vecs = exhaustive_vectors(3)
+    good = LogicSimulator(ckt).run(vecs)
+    bad = LogicSimulator(bridged).run(vecs)
+    resolved = good.values_for("x") | good.values_for("y")
+    assert (bad.output_bits(bridged.outputs)[:, 1] == resolved).all()
+
+
+def test_dominant_semantics():
+    ckt = two_net_circuit()
+    for kind, winner in (("dominant_a", "x"), ("dominant_b", "y")):
+        bridged = inject_bridging(ckt, [BridgingFault("x", "y", kind)])
+        vecs = exhaustive_vectors(3)
+        good = LogicSimulator(ckt).run(vecs)
+        bad = LogicSimulator(bridged).run(vecs)
+        win = good.values_for(winner)
+        # both nets now carry the winner: z1 = XOR(win, win) = 0
+        assert not bad.output_bits(bridged.outputs)[:, 0].any()
+        assert (bad.output_bits(bridged.outputs)[:, 1] == win).all()
+
+
+def test_feedback_pairs_rejected(c17):
+    with pytest.raises(CircuitError):
+        inject_bridging(c17, [BridgingFault("G10", "G22")])  # same path
+
+
+def test_unknown_net_rejected(c17):
+    with pytest.raises(CircuitError):
+        inject_bridging(c17, [BridgingFault("G10", "ghost")])
+
+
+def test_po_rename_keeps_weights():
+    ckt = two_net_circuit()
+    bridged = inject_bridging(ckt, [BridgingFault("x", "y", "wired_and")])
+    # z2 was driven by y's buffer; weights carried through any renames
+    weights = sorted(bridged.output_weights.values())
+    assert weights == [1, 2]
+
+
+def test_metrics_on_bridged_chip():
+    """A bridge is just another approximate version to the estimator."""
+    ckt = two_net_circuit()
+    bridged = inject_bridging(ckt, [BridgingFault("x", "y", "wired_or")])
+    est = MetricsEstimator(ckt, exhaustive=True)
+    er, observed = est.simulate(approx=bridged)
+    assert 0 < er <= 1
+    assert observed >= 1
+
+
+def test_sampling_yields_feasible_bridges(c17, rng):
+    bridges = sample_bridging_faults(c17, 5, rng=rng)
+    assert len(bridges) == 5
+    for br in bridges:
+        inject_bridging(c17, [br]).validate()
+
+
+def test_multiple_bridges(c17, rng):
+    bridges = sample_bridging_faults(c17, 2, rng=rng)
+    bridged = inject_bridging(c17, bridges)
+    bridged.validate()
+    assert len(bridged.outputs) == len(c17.outputs)

@@ -1,0 +1,98 @@
+"""Structural fault collapsing: equivalence classes and checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.faults import (
+    Line,
+    StuckAtFault,
+    checkpoint_faults,
+    collapse_faults,
+    enumerate_faults,
+)
+from repro.simulation import LogicSimulator, exhaustive_vectors
+from repro.benchlib import random_circuit
+
+
+def test_and_gate_equivalences():
+    b = CircuitBuilder()
+    a1, a2 = b.input("a1"), b.input("a2")
+    z = b.AND(a1, a2, name="z")
+    b.output(z)
+    classes = collapse_faults(b.build())
+    rep = classes.class_of[StuckAtFault(Line("z"), 0)]
+    # input SA0 faults are equivalent to output SA0
+    assert classes.class_of[StuckAtFault(Line("a1"), 0)] == rep
+    assert classes.class_of[StuckAtFault(Line("a2"), 0)] == rep
+    # SA1 faults are all distinct
+    assert classes.class_of[StuckAtFault(Line("a1"), 1)] != rep
+
+
+def test_nand_inverts_equivalence(c17):
+    classes = collapse_faults(c17)
+    # G10 = NAND(G1, G3): G1 SA0 == G10 SA1 (G1 has a single consumer)
+    assert (
+        classes.class_of[StuckAtFault(Line("G1"), 0)]
+        == classes.class_of[StuckAtFault(Line("G10"), 1)]
+    )
+    # G3 fans out, so the branch into G10 collapses, not the stem
+    assert (
+        classes.class_of[StuckAtFault(Line("G3", "G10", 1), 0)]
+        == classes.class_of[StuckAtFault(Line("G10"), 1)]
+    )
+    assert (
+        classes.class_of[StuckAtFault(Line("G3"), 0)]
+        != classes.class_of[StuckAtFault(Line("G10"), 1)]
+    )
+
+
+def test_collapse_reduces_c17(c17):
+    full = enumerate_faults(c17)
+    classes = collapse_faults(c17)
+    assert len(classes) < len(full)
+    # every fault belongs to exactly one class
+    count = sum(len(m) for m in classes.members.values())
+    assert count == len(full)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 99])
+def test_equivalent_faults_have_identical_behaviour(seed):
+    """All members of a class produce the same faulty function."""
+    rng = np.random.default_rng(seed)
+    ckt = random_circuit(num_inputs=4, num_gates=12, rng=rng)
+    sim = LogicSimulator(ckt)
+    vecs = exhaustive_vectors(4)
+    classes = collapse_faults(ckt)
+    for rep, members in classes.members.items():
+        ref = sim.run(vecs, [rep]).output_bits()
+        for f in members:
+            got = sim.run(vecs, [f]).output_bits()
+            assert (got == ref).all(), (rep, f)
+
+
+def test_checkpoint_faults(c17):
+    cps = checkpoint_faults(c17)
+    signals = {f.line.signal for f in cps}
+    # all PIs plus the fanout stems G3, G11, G16
+    assert signals == {"G1", "G2", "G3", "G6", "G7", "G11", "G16"}
+    stems = [f for f in cps if f.line.is_stem]
+    branches = [f for f in cps if f.line.is_branch]
+    assert len(stems) == 10  # 5 PIs x 2 polarities
+    assert len(branches) == 12  # 6 branch sites x 2
+
+
+def test_not_buf_chains_collapse():
+    b = CircuitBuilder()
+    a = b.input("a")
+    n1 = b.NOT(a, name="n1")
+    n2 = b.NOT(n1, name="n2")
+    z = b.BUF(n2, name="z")
+    b.output(z)
+    classes = collapse_faults(b.build())
+    # a SA0 == n1 SA1 == n2 SA0 == z SA0
+    rep = classes.class_of[StuckAtFault(Line("a"), 0)]
+    assert classes.class_of[StuckAtFault(Line("n1"), 1)] == rep
+    assert classes.class_of[StuckAtFault(Line("n2"), 0)] == rep
+    assert classes.class_of[StuckAtFault(Line("z"), 0)] == rep
+    assert len(classes) == 2

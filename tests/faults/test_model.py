@@ -1,0 +1,81 @@
+"""Fault-site model and fault-list construction."""
+
+import pytest
+
+from repro.faults import Line, StuckAtFault, datapath_faults, enumerate_faults, enumerate_lines
+
+
+def test_line_kinds():
+    stem = Line("s")
+    assert stem.is_stem and not stem.is_branch
+    br = Line("s", "g", 1)
+    assert br.is_branch and not br.is_stem
+    assert str(stem) == "s"
+    assert str(br) == "s->g.1"
+
+
+def test_line_validation():
+    with pytest.raises(ValueError):
+        Line("s", "g", None)
+    with pytest.raises(ValueError):
+        Line("s", None, 0)
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        StuckAtFault(Line("s"), 2)
+    f = StuckAtFault.stem("s", 1)
+    assert str(f) == "s SA1"
+    assert f.signal == "s"
+    b = StuckAtFault.branch("s", "g", 0, 0)
+    assert str(b) == "s->g.0 SA0"
+
+
+def test_enumerate_lines_c17(c17):
+    lines = enumerate_lines(c17)
+    stems = [l for l in lines if l.is_stem]
+    branches = [l for l in lines if l.is_branch]
+    # 5 PIs + 6 gates
+    assert len(stems) == 11
+    # fanout signals: G3 (2 consumers), G11 (2), G16 (2 gates + 1 PO -> 2 branches)
+    branch_signals = {l.signal for l in branches}
+    assert branch_signals == {"G3", "G11", "G16"}
+    assert len(branches) == 6
+
+
+def test_enumerate_faults_counts(c17):
+    faults = enumerate_faults(c17)
+    assert len(faults) == 2 * len(enumerate_lines(c17))
+    no_branches = enumerate_faults(c17, include_branches=False)
+    assert len(no_branches) == 22
+
+
+def test_enumerate_faults_signal_filter(c17):
+    faults = enumerate_faults(c17, signals={"G10"})
+    assert {f.signal for f in faults} == {"G10"}
+    assert len(faults) == 2
+
+
+def test_datapath_faults_all_data(c17):
+    # no control outputs -> every fault is a candidate
+    assert len(datapath_faults(c17)) == len(enumerate_faults(c17))
+
+
+def test_datapath_faults_excludes_control_and_shared(adder4_ctl):
+    dp = datapath_faults(adder4_ctl)
+    assert dp
+    pis = set(adder4_ctl.inputs)
+    from repro.circuit import transitive_fanin
+
+    ctl_cone = set()
+    for o in adder4_ctl.control_outputs:
+        ctl_cone |= transitive_fanin(adder4_ctl, o)
+    for f in dp:
+        assert f.signal not in pis  # PIs feed the parity flag too
+        assert f.signal not in ctl_cone
+
+
+def test_fault_ordering_deterministic(c17):
+    a = enumerate_faults(c17)
+    b = enumerate_faults(c17)
+    assert a == b

@@ -1,0 +1,131 @@
+"""Behavioural fault injection and the Fig. 7 single-fault transform."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitError
+from repro.benchlib import random_circuit
+from repro.faults import (
+    StuckAtFault,
+    enumerate_faults,
+    inject_faults,
+    transform_to_single,
+)
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def test_inject_stem_gate(c17):
+    inj = inject_faults(c17, [StuckAtFault.stem("G16", 0)])
+    vecs = exhaustive_vectors(5)
+    res = LogicSimulator(inj).run(vecs)
+    assert res.values_for("G22").all()  # NAND(x, 0) = 1
+    ref = LogicSimulator(c17).run(vecs, [StuckAtFault.stem("G16", 0)])
+    assert (res.output_bits(inj.outputs) == ref.output_bits()).all()
+
+
+def test_inject_matches_simulator_injection(rng):
+    """inject_faults must agree with simulator-level fault overrides."""
+    for _ in range(15):
+        ckt = random_circuit(
+            num_inputs=int(rng.integers(3, 6)),
+            num_gates=int(rng.integers(4, 20)),
+            rng=rng,
+        )
+        vecs = exhaustive_vectors(len(ckt.inputs))
+        faults = enumerate_faults(ckt)
+        pick = [faults[int(i)] for i in rng.permutation(len(faults))[:3]]
+        seen = set()
+        pick = [f for f in pick if not (f.line in seen or seen.add(f.line))]
+        inj = inject_faults(ckt, pick)
+        a = LogicSimulator(inj).run(vecs).output_bits(inj.outputs)
+        b = LogicSimulator(ckt).run(vecs, pick).output_bits()
+        assert (a == b).all(), [str(f) for f in pick]
+
+
+def test_inject_pi_stem_with_po():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    a = b.input("a")
+    x = b.input("x")
+    b.output(a)  # PI is directly a PO
+    b.output(b.AND(a, x))
+    c = b.build()
+    inj = inject_faults(c, [StuckAtFault.stem("a", 1)])
+    vecs = exhaustive_vectors(2)
+    bits = LogicSimulator(inj).run(vecs).output_bits(inj.outputs)
+    assert bits[:, 0].all()  # the PO formerly known as 'a' is stuck 1
+    assert (bits[:, 1] == vecs[:, 1]).all()
+
+
+def test_inject_contradictory_faults_rejected(c17):
+    with pytest.raises(CircuitError):
+        inject_faults(
+            c17,
+            [StuckAtFault.stem("G16", 0), StuckAtFault.stem("G16", 1)],
+        )
+
+
+def test_inject_branch_validation(c17):
+    with pytest.raises(CircuitError):
+        inject_faults(c17, [StuckAtFault.branch("G11", "G22", 0, 1)])
+
+
+def test_branch_overrides_stem(c17):
+    """A branch fault keeps its own value even when the stem is stuck."""
+    faults = [
+        StuckAtFault.stem("G11", 0),
+        StuckAtFault.branch("G11", "G16", 1, 1),
+    ]
+    inj = inject_faults(c17, faults)
+    vecs = exhaustive_vectors(5)
+    res = LogicSimulator(inj).run(vecs)
+    good = LogicSimulator(c17).run(vecs)
+    # G19 sees the stuck-0 stem: G19 = NAND(0, G7) = 1
+    assert res.values_for("G19").all()
+    # G16 sees the stuck-1 branch: G16 = NAND(G2, 1) = NOT G2
+    assert (res.values_for("G16") == ~good.values_for("G2")).all()
+
+
+def test_transform_to_single_equivalence(rng):
+    for _ in range(10):
+        ckt = random_circuit(
+            num_inputs=int(rng.integers(3, 6)),
+            num_gates=int(rng.integers(4, 18)),
+            rng=rng,
+        )
+        n = len(ckt.inputs)
+        vecs = exhaustive_vectors(n)
+        faults = enumerate_faults(ckt)
+        pick = [faults[int(i)] for i in rng.permutation(len(faults))[:3]]
+        seen = set()
+        pick = [f for f in pick if not (f.line in seen or seen.add(f.line))]
+        tc, tf = transform_to_single(ckt, pick)
+        assert tf.line.signal == tc.inputs[-1]
+        tsim = LogicSimulator(tc)
+        ext = np.concatenate([vecs, np.zeros((len(vecs), 1), dtype=bool)], axis=1)
+        # en=0, no fault: original function
+        good = tsim.run(ext).output_bits()
+        orig = LogicSimulator(ckt).run(vecs).output_bits()
+        assert (good == orig).all()
+        # en=0 with the single fault: the multiple-faulty function
+        faulty = tsim.run(ext, [tf]).output_bits()
+        ref = LogicSimulator(ckt).run(vecs, pick).output_bits()
+        assert (faulty == ref).all()
+
+
+def test_transform_tests_correspond(c17):
+    """A vector tests the multiple fault iff it tests the single fault."""
+    faults = [StuckAtFault.stem("G10", 1), StuckAtFault.stem("G19", 0)]
+    tc, tf = transform_to_single(c17, faults)
+    vecs = exhaustive_vectors(5)
+    ext = np.concatenate([vecs, np.zeros((32, 1), dtype=bool)], axis=1)
+    tsim = LogicSimulator(tc)
+    single_detect = (
+        tsim.run(ext).output_bits() != tsim.run(ext, [tf]).output_bits()
+    ).any(axis=1)
+    osim = LogicSimulator(c17)
+    multi_detect = (
+        osim.run(vecs).output_bits() != osim.run(vecs, faults).output_bits()
+    ).any(axis=1)
+    assert (single_detect == multi_detect).all()

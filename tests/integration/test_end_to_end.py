@@ -1,0 +1,106 @@
+"""Cross-module integration tests.
+
+These exercise the full production flow on realistic circuits: the
+Table II pipeline on an ISCAS85-like benchmark, the simplified-netlist
+round trip through the `.bench` format, and the DCT application chain
+with library-simplified adders plugged back into the image pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GreedyConfig, circuit_simplify, dumps_bench, loads_bench
+from repro.benchlib import ISCAS85_SUITE
+from repro.metrics import MetricsEstimator
+from repro.simulation import LogicSimulator, random_vectors
+
+
+@pytest.fixture(scope="module")
+def c880():
+    return ISCAS85_SUITE["c880"].builder()
+
+
+@pytest.fixture(scope="module")
+def c880_result(c880):
+    return circuit_simplify(
+        c880,
+        rs_pct_threshold=2.0,
+        config=GreedyConfig(
+            num_vectors=2000,
+            seed=0,
+            candidate_limit=60,
+            max_iterations=40,
+            redundancy_prepass=True,
+            atpg_node_limit=400,
+        ),
+    )
+
+
+def test_c880_pipeline_reduces_area(c880, c880_result):
+    assert c880_result.area_reduction > 0
+    assert c880_result.simplified.area() < c880.area()
+
+
+def test_c880_threshold_respected_on_fresh_vectors(c880, c880_result):
+    est = MetricsEstimator(c880, num_vectors=30_000, seed=424242)
+    er, observed = est.simulate(approx=c880_result.simplified)
+    assert er * observed <= c880_result.rs_threshold * 1.05
+
+
+def test_c880_control_outputs_untouched(c880, c880_result):
+    vecs = random_vectors(len(c880.inputs), 3000, np.random.default_rng(77))
+    good = LogicSimulator(c880).run(vecs)
+    approx = LogicSimulator(c880_result.simplified).run(vecs)
+    positions = [i for i, o in enumerate(c880.outputs) if o in c880.control_outputs]
+    gb = good.output_bits()
+    ab = approx.output_bits(c880_result.simplified.outputs)
+    for p in positions:
+        assert (gb[:, p] == ab[:, p]).all()
+
+
+def test_simplified_netlist_bench_roundtrip(c880, c880_result):
+    text = dumps_bench(c880_result.simplified)
+    back = loads_bench(text, name="c880_approx")
+    vecs = random_vectors(len(c880.inputs), 2000, np.random.default_rng(3))
+    a = LogicSimulator(c880_result.simplified).run(vecs).output_bits(
+        c880_result.simplified.outputs
+    )
+    b = LogicSimulator(back).run(vecs).output_bits(back.outputs)
+    assert (a == b).all()
+
+
+def test_simplified_dct_adder_in_image_pipeline():
+    """Simplify a gate-level final-stage adder with the library, derive
+    its word-level stuck-bit model, and run the image study with it --
+    the two halves of the repo meeting in the middle."""
+    from repro.circuit import CircuitBuilder
+    from repro.benchlib import ripple_carry_adder
+    from repro.dct import DctHardware, FaultyAdder, JpegCodec, psnr
+    from repro.dct import test_image as make_test_image
+
+    # gate-level 12-bit adder, simplified under a tight RS budget
+    b = CircuitBuilder("final_stage")
+    a = b.input_bus("a", 12)
+    x = b.input_bus("b", 12)
+    out = ripple_carry_adder(b, a, x)
+    b.output_bus(out)
+    ckt = b.build()
+    res = circuit_simplify(
+        ckt,
+        rs_pct_threshold=0.2,
+        config=GreedyConfig(num_vectors=3000, seed=0),
+    )
+    assert res.area_reduction > 0
+    # every injected fault sits in the low-order region; model the
+    # cumulative effect as an LSB-truncated adder with matching ES
+    es = res.final_metrics.es
+    k = max(1, es.bit_length())
+    model = FaultyAdder.truncate(k, width=27)
+    assert model.es >= es
+
+    image = make_test_image(64)
+    grid = {(u, v): model for u in range(8) for v in range(8) if u + v >= 3}
+    hw = DctHardware(adders=grid)
+    codec = JpegCodec(quality=90, dct_stage=hw.transform_blocks)
+    recon, _ = codec.roundtrip(image)
+    assert psnr(image, recon) > 25.0  # modest truncation: image survives

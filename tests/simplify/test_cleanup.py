@@ -1,0 +1,84 @@
+"""Standalone cleanup passes preserve function."""
+
+import numpy as np
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.simplify import (
+    full_cleanup,
+    propagate_constants,
+    remove_dead_logic,
+    splice_buffers,
+)
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def same_function(a, b):
+    vecs = exhaustive_vectors(len(a.inputs))
+    ra = LogicSimulator(a).run(vecs).output_bits(a.outputs)
+    rb = LogicSimulator(b).run(vecs).output_bits(b.outputs)
+    return bool((ra == rb).all())
+
+
+def messy_circuit():
+    b = CircuitBuilder("messy")
+    a, x = b.input("a"), b.input("x")
+    one = b.const(1)
+    zero = b.const(0)
+    t1 = b.AND(a, one, name="t1")  # == a
+    t2 = b.OR(x, zero, name="t2")  # == x
+    t3 = b.XOR(t1, one, name="t3")  # == NOT a
+    buf = b.BUF(t2, name="buf")
+    dead = b.NAND(a, x, name="dead")  # feeds nothing
+    b.NOT(dead, name="dead2")
+    b.output(b.AND(t3, buf, name="z"))
+    return b.build()
+
+
+def test_remove_dead_logic():
+    c = messy_circuit()
+    ref = c.copy()
+    removed = remove_dead_logic(c)
+    assert set(removed) == {"dead", "dead2"}
+    assert same_function(c, ref)
+
+
+def test_propagate_constants():
+    c = messy_circuit()
+    ref = c.copy()
+    n = propagate_constants(c)
+    assert n > 0
+    assert same_function(c, ref)
+    # t3 = XOR(t1, 1) must have become an inverter
+    assert c.gate("t3").gtype is GateType.NOT
+
+
+def test_splice_buffers():
+    c = messy_circuit()
+    ref = c.copy()
+    spliced = splice_buffers(c)
+    assert spliced >= 1
+    assert not any(g.gtype is GateType.BUF and not c.is_output(n)
+                   for n, g in c.gates.items())
+    assert same_function(c, ref)
+
+
+def test_full_cleanup_fixpoint():
+    c = messy_circuit()
+    ref = c.copy()
+    stats = full_cleanup(c)
+    assert stats["dead_removed"] >= 2
+    assert same_function(c, ref)
+    # second run is a no-op
+    stats2 = full_cleanup(c)
+    assert stats2 == {"constants_folded": 0, "buffers_spliced": 0, "dead_removed": 0}
+    assert c.area() <= ref.area()
+
+
+def test_buffer_driving_po_kept():
+    b = CircuitBuilder()
+    a = b.input("a")
+    buf = b.BUF(a, name="out")
+    b.output(buf)
+    c = b.build()
+    splice_buffers(c)
+    assert c.has_signal("out")  # PO name must survive

@@ -1,0 +1,54 @@
+"""Formal (BDD-backed) checks of the simplification flow."""
+
+import pytest
+
+from repro.bdd import check_equivalence, exact_error_rate
+from repro.metrics import MetricsEstimator
+from repro.simplify import GreedyConfig, circuit_simplify
+from tests.conftest import build_ripple_adder
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    adder = build_ripple_adder(6)
+    res = circuit_simplify(
+        adder,
+        rs_pct_threshold=3.0,
+        config=GreedyConfig(num_vectors=1500, seed=4, exhaustive=True),
+    )
+    assert res.faults
+    return adder, res
+
+
+def test_exact_er_agrees_with_exhaustive_simulation(flow_result):
+    adder, res = flow_result
+    est = MetricsEstimator(adder, exhaustive=True)
+    er_sim, _ = est.simulate(approx=res.simplified)
+    er_bdd = exact_error_rate(adder, approx=res.simplified)
+    assert er_bdd == pytest.approx(er_sim)
+
+
+def test_prefix_exact_er_consistency(flow_result):
+    """Every trajectory prefix is a valid approximate circuit whose
+    exact ER the BDD can certify, and the full set reproduces the final
+    circuit's exact ER (Section III.C warns ER is *not* monotone or
+    composable in general, so only consistency is asserted)."""
+    adder, res = flow_result
+    from repro.simplify import simplify_with_faults
+
+    ers = []
+    for k in range(1, len(res.faults) + 1):
+        simp = simplify_with_faults(adder, res.faults[:k])
+        ers.append(exact_error_rate(adder, approx=simp))
+    assert all(0.0 < er <= 1.0 for er in ers)
+    assert ers[-1] == pytest.approx(exact_error_rate(adder, approx=res.simplified))
+
+
+def test_zero_budget_result_is_formally_equivalent():
+    adder = build_ripple_adder(5)
+    res = circuit_simplify(
+        adder,
+        rs_threshold=0.0,
+        config=GreedyConfig(num_vectors=1000, seed=1, redundancy_prepass=True),
+    )
+    assert check_equivalence(adder, res.simplified)

@@ -1,0 +1,55 @@
+"""Classical redundancy removal: function preserved, area reduced."""
+
+import numpy as np
+
+from repro.circuit import CircuitBuilder
+from repro.simplify import remove_redundancies
+from repro.simulation import LogicSimulator, exhaustive_vectors
+
+
+def consensus_circuit():
+    """z = ab + a'c + bc: the bc term is redundant (consensus)."""
+    b = CircuitBuilder("consensus")
+    a, x, c = b.input("a"), b.input("b"), b.input("c")
+    na = b.NOT(a)
+    t1 = b.AND(a, x, name="t1")
+    t2 = b.AND(na, c, name="t2")
+    t3 = b.AND(x, c, name="t3")
+    b.output(b.OR(t1, t2, t3, name="z"))
+    return b.build()
+
+
+def same_function(a, b):
+    vecs = exhaustive_vectors(len(a.inputs))
+    ra = LogicSimulator(a).run(vecs).output_bits(a.outputs)
+    rb = LogicSimulator(b).run(vecs).output_bits(b.outputs)
+    return bool((ra == rb).all())
+
+
+def test_consensus_removed():
+    ckt = consensus_circuit()
+    res = remove_redundancies(ckt)
+    assert res.removed_faults  # the bc term is redundant
+    assert res.area_reduction > 0
+    assert res.area_reduction_pct > 0
+    assert same_function(ckt, res.simplified)
+
+
+def test_irredundant_untouched(c17):
+    res = remove_redundancies(c17)
+    assert not res.removed_faults
+    assert res.simplified.area() == c17.area()
+    assert res.rounds == 1
+
+
+def test_result_converges():
+    ckt = consensus_circuit()
+    res = remove_redundancies(ckt)
+    # running again on the result finds nothing more
+    res2 = remove_redundancies(res.simplified)
+    assert not res2.removed_faults
+
+
+def test_adder_is_irredundant(adder4):
+    res = remove_redundancies(adder4)
+    assert not res.removed_faults

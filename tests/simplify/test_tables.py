@@ -1,0 +1,84 @@
+"""Table I rules: checked against gate semantics."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateType, evaluate
+from repro.simplify import TABLE_I, identity_value, rule_for, shrink_type
+
+
+@pytest.mark.parametrize(
+    "gtype",
+    [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR, GateType.XOR, GateType.XNOR],
+)
+@pytest.mark.parametrize("const", [0, 1])
+def test_rules_semantically_correct(gtype, const):
+    """Each rule must describe the gate's behaviour with one input tied."""
+    rule = rule_for(gtype, const)
+    arity = 3
+    for rest in itertools.product((0, 1), repeat=arity - 1):
+        full = evaluate(gtype, [const, *rest])
+        if rule.action == "FOLD":
+            assert full == rule.output, (gtype, const, rest)
+        else:
+            reduced_type = gtype
+            if rule.flip:
+                reduced_type = (
+                    GateType.XNOR if gtype is GateType.XOR else GateType.XOR
+                )
+            assert full == evaluate(reduced_type, list(rest)), (gtype, const, rest)
+
+
+def test_paper_table_entries_verbatim():
+    """Spot-check the exact Table I wording."""
+    assert rule_for(GateType.NAND, 0).action == "FOLD"
+    assert rule_for(GateType.NAND, 0).output == 1
+    assert rule_for(GateType.NAND, 1).action == "DROP"
+    assert rule_for(GateType.AND, 0).output == 0
+    assert rule_for(GateType.NOR, 1).output == 0
+    assert rule_for(GateType.OR, 1).output == 1
+    assert rule_for(GateType.XOR, 1).flip  # n-1 input XNOR
+    assert rule_for(GateType.XNOR, 1).flip  # n-1 input XOR
+    assert not rule_for(GateType.XOR, 0).flip
+
+
+def test_not_buf_rules():
+    assert rule_for(GateType.NOT, 0).output == 1
+    assert rule_for(GateType.NOT, 1).output == 0
+    assert rule_for(GateType.BUF, 0).output == 0
+    assert rule_for(GateType.BUF, 1).output == 1
+
+
+def test_rule_for_unknown():
+    with pytest.raises(ValueError):
+        rule_for(GateType.CONST0, 0)
+
+
+def test_identity_values():
+    # a gate whose inputs were all dropped as non-controlling constants
+    assert identity_value(GateType.AND) == 1
+    assert identity_value(GateType.NAND) == 0
+    assert identity_value(GateType.OR) == 0
+    assert identity_value(GateType.NOR) == 1
+    assert identity_value(GateType.XOR) == 0
+    assert identity_value(GateType.XNOR) == 1
+    with pytest.raises(ValueError):
+        identity_value(GateType.NOT)
+
+
+def test_shrink_types():
+    assert shrink_type(GateType.AND) is GateType.BUF
+    assert shrink_type(GateType.NAND) is GateType.NOT  # Fig. 4: gate K
+    assert shrink_type(GateType.NOR) is GateType.NOT
+    assert shrink_type(GateType.XNOR) is GateType.NOT
+    assert shrink_type(GateType.XOR) is GateType.BUF
+    with pytest.raises(ValueError):
+        shrink_type(GateType.BUF)
+
+
+def test_table_completeness():
+    covered = {(g, v) for (g, v) in TABLE_I}
+    for g in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+              GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+        assert (g, 0) in covered and (g, 1) in covered

@@ -1,0 +1,102 @@
+"""Five-valued D-calculus tables."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateType
+from repro.simulation.fivevalue import (
+    D,
+    DBAR,
+    ONE,
+    X,
+    ZERO,
+    faulty_component,
+    from_components,
+    good_component,
+    is_faulty_value,
+    v_and,
+    v_gate,
+    v_not,
+    v_or,
+    v_xor,
+)
+
+ALL = [ZERO, ONE, D, DBAR, X]
+KNOWN = [ZERO, ONE, D, DBAR]
+
+
+def test_components():
+    assert (good_component(D), faulty_component(D)) == (1, 0)
+    assert (good_component(DBAR), faulty_component(DBAR)) == (0, 1)
+    assert good_component(X) == 2
+    assert from_components(1, 0) == D
+    assert from_components(0, 1) == DBAR
+    assert from_components(1, 1) == ONE
+    assert from_components(2, 0) == X
+
+
+def test_is_faulty_value():
+    assert is_faulty_value(D)
+    assert is_faulty_value(DBAR)
+    assert not is_faulty_value(ZERO)
+    assert not is_faulty_value(X)
+
+
+@pytest.mark.parametrize("a", KNOWN)
+@pytest.mark.parametrize("b", KNOWN)
+def test_binary_ops_componentwise(a, b):
+    """For known values the tables must equal component-wise logic."""
+    for op, ref in ((v_and, lambda p, q: p & q), (v_or, lambda p, q: p | q), (v_xor, lambda p, q: p ^ q)):
+        out = op(a, b)
+        assert good_component(out) == ref(good_component(a), good_component(b))
+        assert faulty_component(out) == ref(faulty_component(a), faulty_component(b))
+
+
+def test_not_table():
+    assert v_not(ZERO) == ONE
+    assert v_not(ONE) == ZERO
+    assert v_not(D) == DBAR
+    assert v_not(DBAR) == D
+    assert v_not(X) == X
+
+
+def test_x_absorption():
+    # X dominates unless a controlling value decides the output
+    assert v_and(X, ZERO) == ZERO
+    assert v_and(X, ONE) == X
+    assert v_or(X, ONE) == ONE
+    assert v_or(X, ZERO) == X
+    assert v_xor(X, ONE) == X
+
+
+def test_classic_d_identities():
+    assert v_and(D, DBAR) == ZERO  # masking at an interacting AND gate
+    assert v_or(D, DBAR) == ONE
+    assert v_xor(D, DBAR) == ONE  # good 1^0=1, faulty 0^1=1
+    assert v_xor(D, D) == ZERO
+    assert v_and(D, D) == D
+    assert v_or(DBAR, DBAR) == DBAR
+
+
+@pytest.mark.parametrize(
+    "gtype",
+    [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR, GateType.XOR, GateType.XNOR],
+)
+def test_v_gate_matches_pairwise_fold(gtype):
+    for vals in itertools.product(ALL, repeat=3):
+        out = v_gate(gtype, list(vals))
+        # reference through components on known values
+        if X not in vals:
+            from repro.circuit import evaluate
+
+            g = evaluate(gtype, [good_component(v) for v in vals])
+            f = evaluate(gtype, [faulty_component(v) for v in vals])
+            assert out == from_components(g, f)
+
+
+def test_v_gate_constants_and_buffers():
+    assert v_gate(GateType.CONST0, []) == ZERO
+    assert v_gate(GateType.CONST1, []) == ONE
+    assert v_gate(GateType.BUF, [D]) == D
+    assert v_gate(GateType.NOT, [D]) == DBAR

@@ -1,0 +1,120 @@
+"""Bit-parallel logic simulation vs. naive evaluation; fault injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import GateType, evaluate
+from repro.faults import StuckAtFault
+from repro.benchlib import random_circuit
+from repro.simulation import LogicSimulator, exhaustive_vectors, random_vectors
+
+
+def naive_eval(circuit, vector):
+    """Reference interpreter: one vector, python ints."""
+    values = {pi: int(v) for pi, v in zip(circuit.inputs, vector)}
+    for name in circuit.topological_order():
+        g = circuit.gates[name]
+        values[name] = evaluate(g.gtype, [values[s] for s in g.inputs])
+    return values
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_simulator_matches_naive(seed):
+    rng = np.random.default_rng(seed)
+    ckt = random_circuit(
+        num_inputs=int(rng.integers(2, 6)),
+        num_gates=int(rng.integers(3, 25)),
+        rng=rng,
+    )
+    vecs = random_vectors(len(ckt.inputs), 130, rng)
+    res = LogicSimulator(ckt).run(vecs)
+    for k in [0, 1, 64, 65, 129]:
+        ref = naive_eval(ckt, vecs[k])
+        for s in ckt.signals():
+            assert bool(res.values_for(s)[k]) == bool(ref[s]), (s, k)
+
+
+def test_adder_function(adder4):
+    vecs = exhaustive_vectors(8)
+    vals = LogicSimulator(adder4).run(vecs).output_values()
+    for k, v in enumerate(vals):
+        a = sum(int(vecs[k, i]) << i for i in range(4))
+        b = sum(int(vecs[k, 4 + i]) << i for i in range(4))
+        assert v == a + b
+
+
+def test_stem_fault_on_gate(c17):
+    sim = LogicSimulator(c17)
+    vecs = exhaustive_vectors(5)
+    res = sim.run(vecs, [StuckAtFault.stem("G16", 0)])
+    assert not res.values_for("G16").any()
+    # G22 = NAND(G10, 0) == 1 everywhere
+    assert res.values_for("G22").all()
+
+
+def test_stem_fault_on_pi(c17):
+    sim = LogicSimulator(c17)
+    vecs = exhaustive_vectors(5)
+    res = sim.run(vecs, [StuckAtFault.stem("G3", 1)])
+    good = sim.run(vecs)
+    # vectors where G3 is already 1 must agree everywhere
+    idx = vecs[:, 2]
+    for o in c17.outputs:
+        assert (res.values_for(o)[idx] == good.values_for(o)[idx]).all()
+
+
+def test_branch_fault_only_affects_one_pin(c17):
+    sim = LogicSimulator(c17)
+    vecs = exhaustive_vectors(5)
+    # G11 stuck at 0 only on the pin into G16; G19 still sees real G11
+    res = sim.run(vecs, [StuckAtFault.branch("G11", "G16", 1, 0)])
+    good = sim.run(vecs)
+    assert (res.values_for("G11") == good.values_for("G11")).all()
+    assert res.values_for("G16").all()  # NAND(G2, 0) == 1
+    assert (res.values_for("G19") == good.values_for("G19")).all()
+
+
+def test_multiple_fault_injection(adder4):
+    sim = LogicSimulator(adder4)
+    vecs = exhaustive_vectors(8)
+    s0 = adder4.outputs[0]
+    s1 = adder4.outputs[1]
+    res = sim.run(vecs, [StuckAtFault.stem(s0, 1), StuckAtFault.stem(s1, 0)])
+    assert res.values_for(s0).all()
+    assert not res.values_for(s1).any()
+
+
+def test_output_values_weighted(adder4):
+    sim = LogicSimulator(adder4)
+    vecs = exhaustive_vectors(8)[:10]
+    res = sim.run(vecs)
+    weighted = res.output_values()
+    bits = res.output_bits()
+    weights = [adder4.output_weights[o] for o in adder4.outputs]
+    for k in range(10):
+        assert weighted[k] == sum(w for w, b in zip(weights, bits[k]) if b)
+
+
+def test_input_shape_validated(c17):
+    sim = LogicSimulator(c17)
+    with pytest.raises(ValueError):
+        sim.run(np.zeros((4, 3), dtype=bool))
+
+
+def test_const_gates_simulate():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    a = b.input("a")
+    z = b.const(0)
+    o = b.const(1)
+    b.output(b.AND(a, o))
+    b.output(b.OR(a, z))
+    c = b.build()
+    vecs = exhaustive_vectors(1)
+    res = LogicSimulator(c).run(vecs)
+    bits = res.output_bits()
+    assert (bits[:, 0] == vecs[:, 0]).all()
+    assert (bits[:, 1] == vecs[:, 0]).all()

@@ -1,0 +1,97 @@
+"""Approximate two-level synthesis (ref [8] rebuild)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.twolevel import approx_minimize, minimize, sop_to_circuit, truth_table_of
+
+
+def test_zero_budget_equals_exact():
+    on = {0, 1, 2, 5, 6, 7, 8, 9, 10, 14}
+    res = approx_minimize(4, on, max_errors=0)
+    assert res.num_errors == 0
+    assert res.cover.num_literals == res.exact_cover.num_literals
+
+
+def test_errors_respect_budget():
+    on = {1, 2, 4, 7}  # 3-input parity: expensive exactly
+    for budget in (1, 2, 4):
+        res = approx_minimize(3, on, max_errors=budget)
+        assert res.num_errors <= budget
+        assert res.error_rate <= budget / 8
+
+
+def test_parity_collapses_under_budget():
+    """Parity is the classic exact-is-expensive function: a few flips
+    should shrink it substantially."""
+    on = {m for m in range(16) if bin(m).count("1") % 2}
+    exact = minimize(4, on)
+    res = approx_minimize(4, on, max_errors=4)
+    assert res.cover.num_literals < exact.num_literals
+    assert res.literals_saved > 0
+    assert res.literal_reduction_pct > 0
+
+
+def test_reported_flips_are_accurate():
+    on = {1, 3, 5, 7, 9, 11, 13, 14}
+    res = approx_minimize(4, on, max_errors=3)
+    implemented = {m for m in range(16) if res.cover.evaluate(m)}
+    target = set(on)
+    assert implemented - target == res.flipped_0_to_1
+    assert target - implemented == res.flipped_1_to_0
+
+
+def test_grow_only_and_drop_only_modes():
+    on = {1, 3, 5, 7, 9, 11, 13, 14}
+    grow = approx_minimize(4, on, max_errors=2, allow_drops=False)
+    assert not grow.flipped_1_to_0
+    drop = approx_minimize(4, on, max_errors=2, allow_grows=False)
+    assert not drop.flipped_0_to_1
+
+
+def test_budget_monotone():
+    on = {m for m in range(16) if bin(m).count("1") % 2}
+    lits = [
+        approx_minimize(4, on, max_errors=b).cover.num_literals
+        for b in (0, 2, 4, 8)
+    ]
+    assert all(a >= b for a, b in zip(lits, lits[1:]))
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        approx_minimize(3, {1}, max_errors=-1)
+
+
+def test_sop_to_circuit_roundtrip():
+    on = {0, 1, 2, 5, 6, 7, 8, 9, 10, 14}
+    cover = minimize(4, on)
+    ckt = sop_to_circuit(cover, name="demo")
+    n, back = truth_table_of(ckt)
+    assert n == 4
+    assert back == on
+
+
+def test_sop_to_circuit_constants():
+    empty = sop_to_circuit(minimize(3, set()))
+    n, on = truth_table_of(empty)
+    assert on == set()
+    full = sop_to_circuit(minimize(3, set(range(8))))
+    n, on = truth_table_of(full)
+    assert on == set(range(8))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 4), data=st.data())
+def test_random_budget_soundness(n, data):
+    universe = list(range(1 << n))
+    on = set(data.draw(st.lists(st.sampled_from(universe), min_size=1, max_size=1 << n)))
+    budget = data.draw(st.integers(0, 4))
+    res = approx_minimize(n, on, max_errors=budget)
+    # errors within budget and consistent with the implemented function
+    assert res.num_errors <= budget
+    implemented = {m for m in range(1 << n) if res.cover.evaluate(m)}
+    diff = implemented.symmetric_difference(on)
+    assert len(diff) == res.num_errors
+    # never worse than exact
+    assert res.cover.num_literals <= res.exact_cover.num_literals

@@ -1,0 +1,100 @@
+"""Exact Quine-McCluskey minimization."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.twolevel import Cube, minimize, prime_implicants
+
+
+def brute_force_check(n, on, dc, cover):
+    """Cover must equal the function on all care minterms."""
+    dc = set(dc)
+    for m in range(1 << n):
+        if m in dc:
+            continue
+        assert cover.evaluate(m) == (1 if m in on else 0), m
+
+
+def test_cube_semantics():
+    c = Cube(value=0b010, mask=0b100, n=3)
+    assert sorted(c.minterms()) == [0b010, 0b110]
+    assert c.covers(0b010) and c.covers(0b110)
+    assert not c.covers(0b011)
+    assert c.num_literals == 2
+    assert str(c) == "-10"
+
+
+def test_cube_validation():
+    with pytest.raises(ValueError):
+        Cube(value=0b100, mask=0b100, n=3)
+
+
+def test_classic_example():
+    # f(a,b,c,d) = sum m(0,1,2,5,6,7,8,9,10,14), the textbook example
+    on = {0, 1, 2, 5, 6, 7, 8, 9, 10, 14}
+    cover = minimize(4, on)
+    brute_force_check(4, on, set(), cover)
+    assert cover.num_terms <= 5
+
+
+def test_xor_cannot_merge():
+    # 3-input parity: no two ON-minterms are adjacent, so every cube is
+    # a full minterm
+    on = {m for m in range(8) if bin(m).count("1") % 2}
+    cover = minimize(3, on)
+    assert cover.num_terms == 4
+    assert all(c.num_literals == 3 for c in cover.cubes)
+
+
+def test_tautology():
+    cover = minimize(3, set(range(8)))
+    assert cover.num_terms == 1
+    assert cover.num_literals == 0
+
+
+def test_empty_function():
+    cover = minimize(3, set())
+    assert cover.num_terms == 0
+    assert cover.evaluate(5) == 0
+
+
+def test_dont_cares_exploited():
+    # BCD "greater than 4": digits 10-15 are don't-cares
+    on = {5, 6, 7, 8, 9}
+    dc = {10, 11, 12, 13, 14, 15}
+    with_dc = minimize(4, on, dc)
+    without = minimize(4, on)
+    assert with_dc.num_literals < without.num_literals
+    brute_force_check(4, on, dc, with_dc)
+
+
+def test_primes_are_prime():
+    on = {0, 1, 2, 5, 6, 7}
+    primes = prime_implicants(3, on)
+    for p in primes:
+        # expanding any fixed literal must leave the ON u DC set
+        for bit in range(3):
+            b = 1 << bit
+            if p.mask & b:
+                continue
+            grown = Cube(p.value & ~b, p.mask | b, 3)
+            assert not set(grown.minterms()) <= on
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 5),
+    data=st.data(),
+)
+def test_random_functions_roundtrip(n, data):
+    universe = list(range(1 << n))
+    on = set(data.draw(st.lists(st.sampled_from(universe), max_size=1 << n)))
+    dc_pool = [m for m in universe if m not in on]
+    dc = set(data.draw(st.lists(st.sampled_from(dc_pool), max_size=4))) if dc_pool else set()
+    cover = minimize(n, on, dc)
+    brute_force_check(n, on, dc, cover)
+    # minimality sanity: never more terms than ON-minterms
+    assert cover.num_terms <= max(1, len(on))

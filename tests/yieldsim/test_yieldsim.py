@@ -1,0 +1,114 @@
+"""Effective-yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import MetricsEstimator, rs_max
+from repro.yieldsim import Chip, classify_population, sample_population
+from tests.conftest import build_ripple_adder
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return build_ripple_adder(6)
+
+
+def test_population_sampling(adder, rng):
+    chips = sample_population(adder, 200, defect_density=0.7, rng=rng)
+    assert len(chips) == 200
+    assert any(c.is_perfect for c in chips)
+    assert any(not c.is_perfect for c in chips)
+    # poisson mean roughly respected
+    mean = np.mean([len(c.faults) for c in chips])
+    assert 0.4 < mean < 1.1
+    # no chip carries two faults on the same line
+    for c in chips:
+        lines = [f.line for f in c.faults]
+        assert len(lines) == len(set(lines))
+
+
+def test_population_validation(adder, rng):
+    with pytest.raises(ValueError):
+        sample_population(adder, 0, rng=rng)
+    with pytest.raises(ValueError):
+        sample_population(adder, 5, defect_density=-1, rng=rng)
+
+
+def test_zero_density_all_perfect(adder, rng):
+    chips = sample_population(adder, 20, defect_density=0.0, rng=rng)
+    assert all(c.is_perfect for c in chips)
+
+
+def test_classification_categories(adder, rng):
+    chips = sample_population(adder, 120, defect_density=1.0, rng=rng)
+    threshold = 0.05 * rs_max(adder)
+    report = classify_population(adder, chips, threshold, num_vectors=1500)
+    assert report.num_chips == 120
+    assert report.perfect + report.acceptable + report.unacceptable == 120
+    assert 0.0 <= report.classical_yield <= report.effective_yield <= 1.0
+    # with a real threshold some defective chips are rescued
+    assert report.acceptable > 0
+    assert "classical" in str(report)
+
+
+def test_yield_monotone_in_threshold(adder, rng):
+    chips = sample_population(adder, 100, defect_density=1.0, rng=rng)
+    est = MetricsEstimator(adder, num_vectors=1500, seed=1)
+    yields = []
+    for frac in (0.0, 0.01, 0.05, 0.2):
+        rep = classify_population(
+            adder, chips, frac * rs_max(adder), estimator=est
+        )
+        yields.append(rep.effective_yield)
+    assert all(a <= b + 1e-12 for a, b in zip(yields, yields[1:]))
+    # zero threshold: effective == classical (up to ER sampling noise on
+    # truly-redundant defects, which this adder does not have)
+    rep0 = classify_population(adder, chips, 0.0, estimator=est)
+    assert rep0.effective_yield == pytest.approx(rep0.classical_yield)
+
+
+def test_atpg_acceptance_is_sound(adder, rng):
+    """The ATPG-checked verdict never accepts a chip the exhaustive
+    measurement would reject."""
+    chips = sample_population(adder, 25, defect_density=1.0, rng=rng)
+    threshold = 0.05 * rs_max(adder)
+    exact_est = MetricsEstimator(adder, exhaustive=True)
+    report = classify_population(
+        adder, chips, threshold, use_atpg=True, estimator=exact_est
+    )
+    for v in report.verdicts:
+        if v.accepted and not v.chip.is_perfect:
+            er, observed = exact_est.simulate(faults=list(v.chip.faults))
+            assert er * observed <= threshold * (1 + 1e-12)
+
+
+def test_perfect_chip_always_accepted(adder):
+    report = classify_population(adder, [Chip(0, ())], rs_threshold=0.0)
+    assert report.classical_yield == 1.0
+    assert report.effective_yield == 1.0
+
+
+def test_mixed_population_with_bridges(adder, rng):
+    chips = sample_population(
+        adder, 80, defect_density=1.0, rng=rng, bridging_fraction=0.5
+    )
+    assert any(c.bridges for c in chips)
+    assert any(c.faults for c in chips)
+    from repro.metrics import rs_max
+
+    report = classify_population(
+        adder, chips, 0.05 * rs_max(adder), num_vectors=1200
+    )
+    assert report.num_chips == 80
+    assert report.perfect + report.acceptable + report.unacceptable == 80
+    # bridged chips get real verdicts (finite RS) in the common case
+    bridged = [v for v in report.verdicts if v.chip.bridges]
+    assert bridged
+    assert any(v.rs < float("inf") for v in bridged)
+
+
+def test_bridging_fraction_validation(adder, rng):
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        sample_population(adder, 5, bridging_fraction=1.5, rng=rng)
