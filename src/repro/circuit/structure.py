@@ -8,7 +8,7 @@ lines that do not lie in the transitive fanin of any control output*.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from .netlist import Circuit
 
@@ -17,6 +17,7 @@ __all__ = [
     "transitive_fanout",
     "output_cone",
     "cones_reached",
+    "fanout_cone_gates",
     "fanout_disjoint",
     "datapath_signals",
     "classify_signals",
@@ -71,6 +72,39 @@ def cones_reached(circuit: Circuit, signal: str) -> Tuple[str, ...]:
     """Primary outputs whose cone contains ``signal``, in output order."""
     tfo = transitive_fanout(circuit, signal, include_self=True)
     return tuple(o for o in circuit.outputs if o in tfo)
+
+
+def fanout_cone_gates(
+    circuit: Circuit,
+    signal: str,
+    topo_pos: Optional[Mapping[str, int]] = None,
+) -> Tuple[str, ...]:
+    """Gates whose output can change when ``signal`` changes, in
+    topological order.
+
+    This is the re-evaluation schedule of an incremental simulator:
+    forcing ``signal`` (e.g. a stuck-at fault) can only disturb the
+    gates in its transitive fanout, and replaying exactly those gates in
+    topological order restores a consistent state.  The driver of
+    ``signal`` itself is *not* included -- a forced line makes its own
+    driver irrelevant.
+
+    ``topo_pos`` may carry a precomputed signal -> topological-position
+    map (one per circuit) so repeated calls over many fault sites avoid
+    rebuilding it.
+    """
+    fan = circuit.fanout_map()
+    seen: Set[str] = set()
+    stack = [g for g, _pin in fan.get(signal, ())]
+    while stack:
+        g = stack.pop()
+        if g in seen:
+            continue
+        seen.add(g)
+        stack.extend(h for h, _pin in fan.get(g, ()) if h not in seen)
+    if topo_pos is None:
+        topo_pos = {n: i for i, n in enumerate(circuit.topological_order())}
+    return tuple(sorted(seen, key=topo_pos.__getitem__))
 
 
 def fanout_disjoint(circuit: Circuit, signal_a: str, signal_b: str) -> bool:

@@ -32,6 +32,7 @@ import numpy as np
 from ..atpg.es_atpg import EsAtpg, EsStatus
 from ..circuit import Circuit
 from ..faults.model import StuckAtFault
+from ..simulation.batchfaultsim import BatchFaultSimulator, FaultBatchStats
 from ..simulation.logicsim import LogicSimulator, SimResult
 from ..simulation.vectors import exhaustive_vectors, pack_vectors, random_vectors
 from .errors import ErrorMetrics, rs_max
@@ -78,7 +79,13 @@ class MetricsEstimator:
         self._good = self._good_sim.run_packed(self.packed, self.num_vectors)
         self._good_words = [self._good.words_for(o) for o in circuit.outputs]
         self._good_value_bits = self._good.output_bits(self.value_outputs)
+        self._good_words_arr = (
+            np.stack(self._good_words)
+            if self._good_words
+            else np.zeros((0, self.packed.shape[1]), dtype=np.uint64)
+        )
         self._sim_cache: Dict[int, LogicSimulator] = {}
+        self._batch_cache: Dict[int, BatchFaultSimulator] = {}
 
     # ------------------------------------------------------------------
     def measure(
@@ -235,6 +242,54 @@ class MetricsEstimator:
         sim = self._simulator_for(target)
         res = sim.run_packed(self.packed, self.num_vectors, faults)
         return self._compare(target, res)
+
+    def simulate_faults(
+        self,
+        faults: Sequence[StuckAtFault],
+        approx: Optional[Circuit] = None,
+        rs_drop_threshold: Optional[float] = None,
+    ) -> List[FaultBatchStats]:
+        """Per-fault differential stats via cone-restricted batch simulation.
+
+        The fault-parallel counterpart of calling :meth:`simulate` once
+        per single fault: every fault is measured against the *original*
+        circuit's good outputs, but its propagation replays only the
+        fault's fanout cone on top of the (cached) fault-free baseline
+        of ``approx``.  Results are bit-identical to :meth:`simulate`;
+        with ``rs_drop_threshold`` set, faults whose running
+        ``ER * max|deviation|`` lower bound already exceeds the
+        threshold are dropped early (``stats.dropped``), which is sound
+        for candidate *rejection* but leaves their stats as lower
+        bounds.  Only single-fault candidates are supported -- ER does
+        not compose across interacting faults, so multi-fault sets must
+        go through :meth:`simulate`.
+        """
+        target = approx if approx is not None else self.circuit
+        bsim = self._batch_simulator_for(target)
+        return bsim.evaluate(faults, rs_drop_threshold=rs_drop_threshold)
+
+    def _batch_simulator_for(self, target: Circuit) -> BatchFaultSimulator:
+        key = id(target)
+        bsim = self._batch_cache.get(key)
+        if bsim is not None and bsim.circuit is target:
+            return bsim
+        if len(target.outputs) != len(self.circuit.outputs):
+            raise ValueError("approximate circuit must preserve the output count")
+        value_names = [target.outputs[p] for p in self._value_pos]
+        bsim = BatchFaultSimulator(
+            target,
+            observe_outputs=target.outputs,
+            value_outputs=value_names,
+            weights=self.weights,
+        )
+        bsim.load_batch(
+            packed=self.packed,
+            num_vectors=self.num_vectors,
+            reference_outputs=self._good_words_arr,
+            reference_value_bits=self._good_value_bits,
+        )
+        self._batch_cache = {key: bsim}  # keep only the latest netlist
+        return bsim
 
     def _simulator_for(self, target: Circuit) -> LogicSimulator:
         key = id(target)

@@ -58,6 +58,16 @@ class GreedyConfig:
     candidate_limit:
         Number of candidates fully evaluated per iteration after proxy
         pre-ranking; ``None`` evaluates all (the paper's full scan).
+    use_batch_ranking:
+        Score the shortlist with the cone-restricted
+        :class:`~repro.simulation.batchfaultsim.BatchFaultSimulator`
+        (one baseline per batch, per-fault fanout-cone replay, early
+        fault dropping against the RS threshold).  Bit-identical to the
+        per-fault full simulation it replaces -- the golden equivalence
+        test pins that -- but much faster; ``False`` keeps the seed
+        path (full ``LogicSimulator`` walk per candidate).  Commit
+        decisions always use the full differential simulation either
+        way, because ER does not compose across interacting faults.
     datapath_only:
         Restrict candidates to datapath lines (Table II methodology).
     include_branches:
@@ -88,6 +98,7 @@ class GreedyConfig:
     seed: int = 0
     es_mode: str = "hybrid"
     candidate_limit: Optional[int] = 200
+    use_batch_ranking: bool = True
     datapath_only: bool = True
     include_branches: bool = True
     max_iterations: int = 10_000
@@ -445,13 +456,29 @@ def _rank_candidates(
     proxied.sort(key=lambda t: -t[0])
     shortlist = proxied if cfg.candidate_limit is None else proxied[: cfg.candidate_limit]
 
-    # Phase 2: exact simulation-based scoring of the shortlist.
+    # Phase 2: exact simulation-based scoring of the shortlist.  The
+    # batch path computes the same (ER, observed-ES) pairs as one
+    # estimator.simulate call per fault, restricted to each fault's
+    # fanout cone; faults whose running RS lower bound already exceeds
+    # the threshold are dropped mid-batch (they would be skipped below
+    # anyway).
     eps = max(estimator.rs_maximum * 1e-15, 1e-12)
+    if cfg.use_batch_ranking:
+        stats = estimator.simulate_faults(
+            [f for _proxy, _delta, f in shortlist],
+            approx=current,
+            rs_drop_threshold=threshold,
+        )
+        results = [(st.error_rate, st.max_abs_deviation, st.dropped) for st in stats]
+    else:
+        results = [
+            estimator.simulate(approx=current, faults=[f]) + (False,)
+            for _proxy, _delta, f in shortlist
+        ]
     scored: List[Tuple[float, StuckAtFault, float]] = []
-    for _proxy, delta, f in shortlist:
-        er, observed = estimator.simulate(approx=current, faults=[f])
+    for (_proxy, delta, f), (er, observed, dropped) in zip(shortlist, results):
         sim_rs = er * observed
-        if sim_rs > threshold:
+        if dropped or sim_rs > threshold:
             continue  # the conservative ES can only be larger
         if cfg.fom == "area":
             fom = float(delta)

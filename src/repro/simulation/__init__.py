@@ -5,6 +5,7 @@ from .vectors import (
     ints_from_vectors,
     num_words,
     pack_vectors,
+    popcount_words,
     random_vectors,
     tail_mask,
     unpack_vectors,
@@ -12,6 +13,7 @@ from .vectors import (
 )
 from .logicsim import LogicSimulator, SimResult
 from .faultsim import DifferentialResult, FaultSimulator
+from .batchfaultsim import BatchFaultSimulator, FaultBatchStats
 from . import fivevalue
 
 __all__ = [
@@ -19,9 +21,12 @@ __all__ = [
     "SimResult",
     "FaultSimulator",
     "DifferentialResult",
+    "BatchFaultSimulator",
+    "FaultBatchStats",
     "fivevalue",
     "pack_vectors",
     "unpack_vectors",
+    "popcount_words",
     "random_vectors",
     "exhaustive_vectors",
     "vectors_from_ints",

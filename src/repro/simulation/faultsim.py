@@ -11,6 +11,7 @@ because Section III.C shows ER does not compose for interacting faults.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -99,7 +100,7 @@ class FaultSimulator:
         else:
             self.value_outputs = tuple(circuit.outputs)
         self.weights = [int(circuit.output_weights.get(o, 1)) for o in self.value_outputs]
-        self._good_cache: Dict[int, SimResult] = {}
+        self._good_cache: Dict[Tuple[int, bytes], SimResult] = {}
 
     # ------------------------------------------------------------------
     def differential(
@@ -125,13 +126,20 @@ class FaultSimulator:
     def good_result(
         self, vectors: np.ndarray, packed: Optional[np.ndarray] = None
     ) -> SimResult:
-        """Fault-free simulation of a batch (cached by batch identity)."""
-        key = id(vectors)
-        cached = self._good_cache.get(key)
-        if cached is not None and cached.num_vectors == vectors.shape[0]:
-            return cached
+        """Fault-free simulation of a batch (cached by batch content).
+
+        The cache key is a digest of the packed batch, not the array's
+        ``id()``: CPython reuses object ids after garbage collection, so
+        an id-keyed cache can silently serve one batch's good values to
+        a different, same-sized batch (regression-tested in
+        ``tests/simulation/test_faultsim.py``).
+        """
         if packed is None:
             packed = pack_vectors(np.asarray(vectors, dtype=bool))
+        key = (vectors.shape[0], hashlib.sha1(packed.tobytes()).digest())
+        cached = self._good_cache.get(key)
+        if cached is not None:
+            return cached
         res = self.sim.run_packed(packed, vectors.shape[0], ())
         self._good_cache = {key: res}  # keep only the latest batch
         return res

@@ -19,6 +19,7 @@ import numpy as np
 __all__ = [
     "pack_vectors",
     "unpack_vectors",
+    "popcount_words",
     "random_vectors",
     "exhaustive_vectors",
     "vectors_from_ints",
@@ -73,6 +74,17 @@ def unpack_vectors(words: np.ndarray, num_vectors: int) -> np.ndarray:
     bits = (words[:, :, None] >> shifts[None, None, :]) & np.uint64(1)
     flat = bits.reshape(n_sig, w * 64).astype(bool)
     return flat[:, :num_vectors].T
+
+
+_POPCOUNT8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint64)
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits across an array of packed words."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return int(np.bitwise_count(words).sum())
+    return int(_POPCOUNT8[words.view(np.uint8)].sum())
 
 
 def random_vectors(

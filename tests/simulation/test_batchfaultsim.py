@@ -1,0 +1,172 @@
+"""Cross-validation: BatchFaultSimulator vs the naive FaultSimulator.
+
+The cone-restricted batch simulator must be *bit-identical* to the full
+differential reference for every enumerated single fault -- stems,
+fanout branches, and primary-input faults alike -- on multi-word vector
+batches, and its chunked / fault-dropping modes must stay consistent
+with the single-pass results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import random_circuit
+from repro.faults import StuckAtFault, enumerate_faults
+from repro.metrics import MetricsEstimator
+from repro.simplify import simplify_with_fault
+from repro.simulation import (
+    BatchFaultSimulator,
+    FaultSimulator,
+    exhaustive_vectors,
+    random_vectors,
+)
+
+
+def assert_bit_identical(batch_stats, diff):
+    """One fault's batch stats must equal the naive DifferentialResult."""
+    assert batch_stats.error_rate == diff.error_rate
+    assert batch_stats.max_abs_deviation == diff.max_abs_deviation
+    assert batch_stats.mean_abs_deviation == diff.mean_abs_deviation
+    assert np.array_equal(batch_stats.detected, diff.detected)
+    assert batch_stats.deviations == diff.deviations
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_every_fault_matches_reference_on_random_circuits(seed):
+    """Stem, branch, and PI faults on randomized circuits, N > 64."""
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(num_inputs=6, num_gates=24, rng=rng)
+    vectors = random_vectors(len(circuit.inputs), 130, rng)  # 3 words, ragged tail
+    faults = enumerate_faults(circuit, include_branches=True)
+    assert any(f.line.is_branch for f in faults)
+    assert any(circuit.is_input(f.line.signal) and f.line.is_stem for f in faults)
+
+    naive = FaultSimulator(circuit)
+    batch = BatchFaultSimulator(circuit)
+    batch.load_batch(vectors)
+    stats = batch.evaluate(faults, detailed=True)
+    for fault, st in zip(faults, stats):
+        assert_bit_identical(st, naive.differential(vectors, [fault]))
+
+
+def test_control_outputs_split_detection_from_deviation(adder4_ctl):
+    """ER observes control outputs; deviation only the data outputs."""
+    vectors = exhaustive_vectors(len(adder4_ctl.inputs))
+    naive = FaultSimulator(adder4_ctl)
+    batch = BatchFaultSimulator(adder4_ctl)
+    batch.load_batch(vectors)
+    assert set(batch.value_outputs) == set(adder4_ctl.data_outputs)
+    faults = enumerate_faults(adder4_ctl)
+    for fault, st in zip(faults, batch.evaluate(faults, detailed=True)):
+        assert_bit_identical(st, naive.differential(vectors, [fault]))
+    # a pure-control fault: detected but zero deviation
+    ctl = adder4_ctl.control_outputs[0]
+    (st,) = batch.evaluate([StuckAtFault.stem(ctl, 1)])
+    assert st.error_rate > 0
+    assert st.max_abs_deviation == 0
+
+
+def test_chunked_evaluation_matches_single_pass():
+    rng = np.random.default_rng(11)
+    circuit = random_circuit(num_inputs=7, num_gates=30, rng=rng)
+    vectors = random_vectors(len(circuit.inputs), 400, rng)
+    faults = enumerate_faults(circuit)
+    batch = BatchFaultSimulator(circuit)
+    batch.load_batch(vectors)
+    single = batch.evaluate(faults, detailed=True)
+    chunked = batch.evaluate(faults, chunk_words=1, detailed=True)
+    for a, b in zip(single, chunked):
+        assert a.detected_count == b.detected_count
+        assert a.max_abs_deviation == b.max_abs_deviation
+        assert a.sum_abs_deviation == b.sum_abs_deviation
+        assert a.deviations == b.deviations
+        assert np.array_equal(a.detected, b.detected)
+
+
+def test_fault_dropping_is_sound():
+    """Dropped faults must truly exceed the threshold; survivors exact."""
+    rng = np.random.default_rng(5)
+    circuit = random_circuit(num_inputs=7, num_gates=30, rng=rng)
+    vectors = random_vectors(len(circuit.inputs), 500, rng)
+    faults = enumerate_faults(circuit)
+    batch = BatchFaultSimulator(circuit)
+    batch.load_batch(vectors)
+    full = batch.evaluate(faults)
+    threshold = 0.05
+    quick = batch.evaluate(faults, rs_drop_threshold=threshold, chunk_words=1)
+    n_dropped = 0
+    for st, ref in zip(quick, full):
+        if st.dropped:
+            n_dropped += 1
+            assert ref.rs > threshold  # rejection was correct
+            assert st.words_simulated < full[0].words_simulated
+            assert st.detected_count <= ref.detected_count
+            assert st.max_abs_deviation <= ref.max_abs_deviation
+        else:
+            assert st.detected_count == ref.detected_count
+            assert st.max_abs_deviation == ref.max_abs_deviation
+            assert st.sum_abs_deviation == ref.sum_abs_deviation
+    assert n_dropped > 0  # the scenario actually exercises dropping
+
+
+def test_estimator_batch_path_matches_simulate(adder4):
+    """simulate_faults on a *simplified* netlist must reproduce the
+    per-fault simulate() stats measured against the original."""
+    est = MetricsEstimator(adder4, num_vectors=300, seed=1)
+    current = simplify_with_fault(adder4, StuckAtFault.stem(adder4.outputs[1], 0))
+    faults = enumerate_faults(current)
+    stats = est.simulate_faults(faults, approx=current)
+    for fault, st in zip(faults, stats):
+        er, observed = est.simulate(approx=current, faults=[fault])
+        assert st.error_rate == er
+        assert st.max_abs_deviation == observed
+        assert not st.dropped
+
+
+def test_estimator_batch_path_on_original(adder4):
+    est = MetricsEstimator(adder4, exhaustive=True)
+    faults = enumerate_faults(adder4)
+    for fault, st in zip(faults, est.simulate_faults(faults)):
+        er, observed = est.simulate(faults=[fault])
+        assert st.error_rate == er
+        assert st.max_abs_deviation == observed
+
+
+def test_big_weight_exact_path():
+    """Weighted deviation stays exact beyond the float64 integer range."""
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder("wide")
+    ins = b.input_bus("d", 4)
+    for i, s in enumerate(ins):
+        b.output(b.BUF(s), weight=1 << (60 + i))
+    c = b.build()
+    vectors = exhaustive_vectors(4)
+    naive = FaultSimulator(c)
+    batch = BatchFaultSimulator(c)
+    batch.load_batch(vectors)
+    faults = enumerate_faults(c)
+    for fault, st in zip(faults, batch.evaluate(faults, detailed=True)):
+        assert_bit_identical(st, naive.differential(vectors, [fault]))
+    (st,) = batch.evaluate([StuckAtFault.stem(c.outputs[3], 0)])
+    assert st.max_abs_deviation == 1 << 63
+
+
+def test_evaluate_requires_loaded_batch(adder4):
+    batch = BatchFaultSimulator(adder4)
+    with pytest.raises(RuntimeError):
+        batch.evaluate([StuckAtFault.stem(adder4.outputs[0], 0)])
+
+
+def test_work_array_restored_between_faults(adder4):
+    """Evaluation order must not leak state from one fault to the next."""
+    vectors = exhaustive_vectors(len(adder4.inputs))
+    batch = BatchFaultSimulator(adder4)
+    batch.load_batch(vectors)
+    faults = enumerate_faults(adder4)
+    first = batch.evaluate([faults[0]], detailed=True)[0]
+    # interleave other faults, then re-evaluate the first
+    batch.evaluate(faults[1:10])
+    again = batch.evaluate([faults[0]], detailed=True)[0]
+    assert first.detected_count == again.detected_count
+    assert first.deviations == again.deviations
