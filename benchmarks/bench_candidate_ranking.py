@@ -43,7 +43,7 @@ def greedy_shortlist(circuit, limit):
 
 
 @pytest.mark.parametrize("name", ["c880", "c1908", "c3540"])
-def test_candidate_ranking_speedup(name, benchmark, bench_rows):
+def test_candidate_ranking_speedup(name, benchmark, bench_rows, bench_json):
     circuit = ISCAS85_SUITE[name].builder()
     estimator = MetricsEstimator(circuit, num_vectors=NUM_VECTORS, seed=0)
     faults = greedy_shortlist(circuit, SHORTLIST)
@@ -77,5 +77,16 @@ def test_candidate_ranking_speedup(name, benchmark, bench_rows):
         f"RANKING {name:<6} {len(faults)} candidates x {NUM_VECTORS} vectors: "
         f"full={t_old * 1e3:7.1f}ms  batch={t_new * 1e3:7.1f}ms  "
         f"speedup={speedup:.1f}x"
+    )
+    bench_json["candidate_ranking"].append(
+        {
+            "circuit": name,
+            "candidates": len(faults),
+            "num_vectors": NUM_VECTORS,
+            "full_profile": FULL,
+            "t_full_ms": round(t_old * 1e3, 3),
+            "t_batch_ms": round(t_new * 1e3, 3),
+            "speedup": round(speedup, 2),
+        }
     )
     assert speedup > 1.0

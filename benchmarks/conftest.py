@@ -10,6 +10,7 @@ default profile keeps the whole suite in the minutes range.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -48,3 +49,33 @@ def bench_rows():
         out = os.path.join(os.path.dirname(__file__), "..", "bench_results.txt")
         with open(os.path.abspath(out), "a") as fh:
             fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Collect machine-readable result rows across benches of one session.
+
+    Benches append dict rows under a bench name
+    (``bench_json["candidate_ranking"].append({...})``); at teardown
+    each name is written to ``BENCH_<name>.json`` next to
+    ``bench_results.txt``, so the perf trajectory is trackable across
+    PRs (and uploadable as a CI artifact) without parsing the human
+    text rows.
+    """
+    tables: dict[str, list[dict]] = {}
+
+    class _Tables(dict):
+        def __missing__(self, key: str) -> list[dict]:
+            tables[key] = self[key] = []
+            return self[key]
+
+    collected = _Tables()
+    yield collected
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    for name, rows in tables.items():
+        if not rows:
+            continue
+        path = os.path.join(root, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump({"bench": name, "rows": rows}, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -20,6 +20,7 @@ from .circuit import (
     loads_bench,
 )
 from .faults import Line, StuckAtFault, datapath_faults, enumerate_faults
+from .obs import Instrumentation, RunJournal, load_journal, render_report
 from .simulation import FaultSimulator, LogicSimulator
 from .metrics import ErrorMetrics, MetricsEstimator, rs_max
 from .simplify import (
@@ -63,5 +64,9 @@ __all__ = [
     "simplify_for_error_tolerance",
     "verify_simplification",
     "format_report",
+    "Instrumentation",
+    "RunJournal",
+    "load_journal",
+    "render_report",
     "__version__",
 ]

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..circuit import Circuit, GateType
 from ..circuit.structure import transitive_fanin, transitive_fanout
 from ..faults.model import StuckAtFault
+from ..obs.core import Instrumentation, get_active
 
 __all__ = ["EsStatus", "EsResult", "EsAtpg"]
 
@@ -99,9 +100,11 @@ class EsAtpg:
         faults: Sequence[StuckAtFault] = (),
         value_outputs: Optional[Sequence[str]] = None,
         node_limit: int = 20_000,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         good.validate()
         self.good = good
+        self.obs = obs if obs is not None else get_active()
         self.faulty = faulty if faulty is not None else good
         self.same_netlist = self.faulty is good
         if not self.same_netlist:
@@ -271,6 +274,16 @@ class EsAtpg:
     # ------------------------------------------------------------------
     def test_exists(self, threshold: int) -> EsResult:
         """Decide whether some vector yields ``|deviation| >= threshold``."""
+        with self.obs.span("atpg.es_search"):
+            res = self._test_exists(threshold)
+        obs = self.obs
+        obs.incr("es_atpg.queries")
+        obs.incr("es_atpg.nodes", res.nodes)
+        if res.status is EsStatus.ABORTED:
+            obs.incr("es_atpg.aborts")
+        return res
+
+    def _test_exists(self, threshold: int) -> EsResult:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
         if not self.affected_outputs or self.max_weight_sum < threshold:
@@ -364,6 +377,7 @@ class EsAtpg:
         weights = [self.weights[o] for o in self.affected_outputs]
         total = 1 << s
         best = 0
+        self.obs.incr("es_atpg.exact_vectors", total)
         for start in range(0, total, chunk_vectors):
             count = min(chunk_vectors, total - start)
             ints = np.arange(start, start + count, dtype=np.uint64)
@@ -397,9 +411,12 @@ class EsAtpg:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
         if not self.affected_outputs or self.max_weight_sum < threshold:
+            self.obs.incr("es_atpg.structural_refutations")
             return EsResult(EsStatus.UNSAT, None, None, 0)
         if len(self.support) <= exhaustive_limit:
-            exact = self.exact_max_deviation()
+            with self.obs.span("atpg.es_exact"):
+                exact = self.exact_max_deviation()
+            self.obs.incr("es_atpg.exact_queries")
             if exact >= threshold:
                 return EsResult(EsStatus.SAT, None, exact, 0)
             return EsResult(EsStatus.UNSAT, None, exact, 0)

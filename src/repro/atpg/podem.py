@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..circuit import Circuit, GateType
 from ..circuit.gates import controlling_value, inversion
 from ..faults.model import StuckAtFault
+from ..obs.core import Instrumentation, get_active
 from ..simulation import fivevalue as fv
 
 __all__ = ["AtpgStatus", "AtpgResult", "Podem"]
@@ -45,6 +46,7 @@ class AtpgResult:
     vector: Optional[Dict[str, int]]
     backtracks: int
     decisions: int
+    implications: int = 0
 
     @property
     def is_testable(self) -> bool:
@@ -76,9 +78,11 @@ class Podem:
         circuit: Circuit,
         backtrack_limit: int = 20_000,
         guidance: str = "level",
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
+        self.obs = obs if obs is not None else get_active()
         self.backtrack_limit = backtrack_limit
         self._order = circuit.topological_order()
         self._levels = circuit.levels()
@@ -120,6 +124,17 @@ class Podem:
     # ------------------------------------------------------------------
     def run(self, fault: StuckAtFault) -> AtpgResult:
         """Generate a test for ``fault`` or prove it redundant."""
+        with self.obs.span("atpg.podem"):
+            result = self._search(fault)
+        obs = self.obs
+        obs.incr("podem.runs")
+        obs.incr("podem.decisions", result.decisions)
+        obs.incr("podem.backtracks", result.backtracks)
+        obs.incr("podem.implications", result.implications)
+        obs.incr(f"podem.{result.status.value}")
+        return result
+
+    def _search(self, fault: StuckAtFault) -> AtpgResult:
         if not self.circuit.has_signal(fault.line.signal):
             raise ValueError(f"fault site {fault.line} not in circuit {self.circuit.name!r}")
         assign: Dict[str, int] = {}
@@ -127,12 +142,14 @@ class Podem:
         stack: List[Tuple[str, int, bool]] = []
         backtracks = 0
         decisions = 0
+        implications = 0
 
         while True:
             values = self._simulate(assign, fault)
+            implications += 1
             if self._test_found(values):
                 vec = {pi: assign.get(pi, 0) for pi in self.circuit.inputs}
-                return AtpgResult(AtpgStatus.TESTABLE, vec, backtracks, decisions)
+                return AtpgResult(AtpgStatus.TESTABLE, vec, backtracks, decisions, implications)
 
             objective = self._objective(values, fault)
             target = None
@@ -147,13 +164,13 @@ class Podem:
                     if not was_flipped:
                         backtracks += 1
                         if backtracks > self.backtrack_limit:
-                            return AtpgResult(AtpgStatus.ABORTED, None, backtracks, decisions)
+                            return AtpgResult(AtpgStatus.ABORTED, None, backtracks, decisions, implications)
                         assign[pi] = val ^ 1
                         stack.append((pi, val ^ 1, True))
                         flipped = True
                         break
                 if not flipped:
-                    return AtpgResult(AtpgStatus.REDUNDANT, None, backtracks, decisions)
+                    return AtpgResult(AtpgStatus.REDUNDANT, None, backtracks, decisions, implications)
                 continue
 
             pi, val = target

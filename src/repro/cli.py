@@ -6,11 +6,20 @@ file extension) and on the built-in benchmark suite:
 
 * ``stats``      -- netlist statistics and datapath/control profile
 * ``simplify``   -- RS-budgeted simplification of a netlist
+* ``report``     -- profiling view over a run journal (JSONL)
 * ``redundancy`` -- classical redundancy removal only
 * ``table2``     -- one Table II row on a built-in ISCAS85-like circuit
 * ``dct-study``  -- the Section II JPEG/DCT application study
 * ``er-tests``   -- error-rate test generation (ERTG flow)
 * ``yield``      -- effective-yield analysis on a defect population
+
+All human-readable output goes through the ``repro`` logging tree
+(INFO -> stdout, WARNING+ -> stderr), configured by the global
+``--verbose`` / ``--quiet`` flags; library code never prints directly.
+``simplify`` and ``table2`` accept ``--journal PATH`` to stream a
+structured JSONL run journal and ``--profile`` to dump the phase-time /
+counter breakdown after the run; ``report`` renders the same view from
+a saved journal.
 
 Output netlists are written in the format implied by the output path's
 extension.
@@ -19,6 +28,7 @@ extension.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
@@ -28,9 +38,49 @@ from .circuit import dump_bench, dump_verilog, load_bench, load_verilog
 from .core import format_report
 from .faults import datapath_faults, enumerate_faults
 from .metrics import rs_max
+from .obs import Instrumentation, JournalError, render_snapshot, report_from_file
 from .simplify import GreedyConfig, circuit_simplify, remove_redundancies
 
 __all__ = ["main"]
+
+logger = logging.getLogger("repro.cli")
+
+
+class _PipeSafeHandler(logging.StreamHandler):
+    """StreamHandler that stays quiet when the consumer hangs up.
+
+    ``repro ... | head`` closes stdout mid-stream; the stock handler
+    would print one BrokenPipeError traceback per remaining record.
+    """
+
+    def handleError(self, record: logging.LogRecord) -> None:
+        exc = sys.exc_info()[0]
+        if exc is not None and issubclass(exc, BrokenPipeError):
+            return
+        super().handleError(record)
+
+
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Route the ``repro`` logging tree: INFO/DEBUG to stdout (the
+    command's payload), WARNING and above to stderr.  Reconfigured on
+    every ``main()`` call so repeated in-process invocations (tests)
+    pick up the current stream objects."""
+    root = logging.getLogger("repro")
+    root.handlers.clear()
+    root.setLevel(logging.DEBUG if verbose else logging.INFO)
+    root.propagate = False
+
+    out = _PipeSafeHandler(sys.stdout)
+    out.setFormatter(logging.Formatter("%(message)s"))
+    out.addFilter(lambda record: record.levelno < logging.WARNING)
+    if quiet:
+        out.setLevel(logging.CRITICAL)  # payload suppressed, errors kept
+    root.addHandler(out)
+
+    err = _PipeSafeHandler(sys.stderr)
+    err.setLevel(logging.WARNING)
+    err.setFormatter(logging.Formatter("%(levelname)s: %(message)s"))
+    root.addHandler(err)
 
 
 def _add_greedy_options(p: argparse.ArgumentParser) -> None:
@@ -50,6 +100,14 @@ def _add_greedy_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--weights", choices=["unit", "binary"], default="binary",
                    help="output weights when the netlist has none "
                         "(binary: bit i of the output list weighs 2**i)")
+
+
+def _add_obs_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="stream a structured JSONL run journal here "
+                        "(render it later with `repro report PATH`)")
+    p.add_argument("--profile", action="store_true",
+                   help="print the phase-time / counter breakdown after the run")
 
 
 def _load_weighted(path: str, weights: str):
@@ -83,50 +141,76 @@ def _config(args: argparse.Namespace) -> GreedyConfig:
     )
 
 
+def _instrumentation(args: argparse.Namespace) -> Optional[Instrumentation]:
+    """An explicit registry when the run is profiled or journaled."""
+    if getattr(args, "profile", False) or getattr(args, "journal", None):
+        return Instrumentation()
+    return None
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     circuit = _load_weighted(args.netlist, args.weights)
     s = circuit.stats()
     for k, v in s.items():
-        print(f"{k:>14}: {v}")
+        logger.info(f"{k:>14}: {v}")
     nf = len(enumerate_faults(circuit))
     nd = len(datapath_faults(circuit))
-    print(f"{'fault sites':>14}: {nf}")
-    print(f"{'datapath %':>14}: {100 * nd / nf:.2f}")
-    print(f"{'RS_max':>14}: {rs_max(circuit)}")
+    logger.info(f"{'fault sites':>14}: {nf}")
+    logger.info(f"{'datapath %':>14}: {100 * nd / nf:.2f}")
+    logger.info(f"{'RS_max':>14}: {rs_max(circuit)}")
     return 0
 
 
 def cmd_simplify(args: argparse.Namespace) -> int:
     if (args.rs is None) == (args.rs_pct is None):
-        print("error: give exactly one of --rs / --rs-pct", file=sys.stderr)
+        logger.error("give exactly one of --rs / --rs-pct")
         return 2
     circuit = _load_weighted(args.netlist, args.weights)
+    obs = _instrumentation(args)
     t0 = time.time()
     result = circuit_simplify(
         circuit,
         rs_threshold=args.rs,
         rs_pct_threshold=args.rs_pct,
         config=_config(args),
+        journal=args.journal,
+        obs=obs,
     )
-    print(format_report(result))
-    print(f"\nelapsed: {time.time() - t0:.1f}s")
+    logger.info(format_report(result))
+    logger.info(f"\nelapsed: {time.time() - t0:.1f}s")
+    if args.journal:
+        logger.info(f"run journal written to {args.journal}")
+    if args.profile and obs is not None:
+        logger.info("\n" + render_snapshot(obs.snapshot()))
     if args.output:
         _dump(result.simplified, args.output)
-        print(f"approximate netlist written to {args.output}")
+        logger.info(f"approximate netlist written to {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        logger.info(report_from_file(args.journal, top_k=args.top))
+    except FileNotFoundError:
+        logger.error(f"no such journal: {args.journal}")
+        return 2
+    except JournalError as exc:
+        logger.error(str(exc))
+        return 2
     return 0
 
 
 def cmd_redundancy(args: argparse.Namespace) -> int:
     circuit = _load_weighted(args.netlist, args.weights)
     res = remove_redundancies(circuit)
-    print(f"removed {len(res.removed_faults)} redundant fault(s); "
-          f"area {circuit.area()} -> {res.simplified.area()} "
-          f"({res.area_reduction_pct:.2f}%)")
+    logger.info(f"removed {len(res.removed_faults)} redundant fault(s); "
+                f"area {circuit.area()} -> {res.simplified.area()} "
+                f"({res.area_reduction_pct:.2f}%)")
     for f in res.removed_faults:
-        print(f"  {f}")
+        logger.info(f"  {f}")
     if args.output:
         _dump(res.simplified, args.output)
-        print(f"netlist written to {args.output}")
+        logger.info(f"netlist written to {args.output}")
     return 0
 
 
@@ -135,12 +219,19 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
     profile = ISCAS85_SUITE[args.circuit]
     circuit = profile.builder()
-    print(f"{args.circuit}-like: area {circuit.area()} (paper {profile.paper_area})")
+    logger.info(f"{args.circuit}-like: area {circuit.area()} (paper {profile.paper_area})")
     config = _config(args)
+    obs = _instrumentation(args)
     sweep = [args.rs_pct] if args.rs_pct is not None else list(profile.rs_pct_sweep)
-    for pct in sweep:
+    for i, pct in enumerate(sweep):
         t0 = time.time()
-        res = circuit_simplify(circuit, rs_pct_threshold=pct, config=config)
+        # one journal path serves one run: suffix additional sweep points
+        journal = args.journal
+        if journal and len(sweep) > 1:
+            journal = f"{journal}.{pct:g}"
+        res = circuit_simplify(
+            circuit, rs_pct_threshold=pct, config=config, journal=journal, obs=obs
+        )
         idx = (
             profile.rs_pct_sweep.index(pct)
             if pct in profile.rs_pct_sweep
@@ -149,8 +240,10 @@ def cmd_table2(args: argparse.Namespace) -> int:
         paper = (
             f"{profile.paper_area_reduction_pct[idx]:.2f}%" if idx is not None else "n/a"
         )
-        print(f"  %RS={pct:g}: ours {res.area_reduction_pct:.2f}%  paper {paper}  "
-              f"({len(res.faults)} faults, {time.time() - t0:.1f}s)")
+        logger.info(f"  %RS={pct:g}: ours {res.area_reduction_pct:.2f}%  paper {paper}  "
+                    f"({len(res.faults)} faults, {time.time() - t0:.1f}s)")
+    if args.profile and obs is not None:
+        logger.info("\n" + render_snapshot(obs.snapshot()))
     return 0
 
 
@@ -164,14 +257,14 @@ def cmd_dct_study(args: argparse.Namespace) -> int:
     )
 
     image = test_image(args.size)
-    print("=== Figure 2 ===")
+    logger.info("=== Figure 2 ===")
     for grid, p in figure2_configurations(image):
-        print(f"{p.label}: PSNR={p.psnr_db:.2f} dB RS(Sum)={p.rs_sum:.3g} "
-              f"{'acceptable' if p.acceptable else 'NOT acceptable'}")
-        print(render_grid(grid))
-    print("\n=== Figure 3 ===")
+        logger.info(f"{p.label}: PSNR={p.psnr_db:.2f} dB RS(Sum)={p.rs_sum:.3g} "
+                    f"{'acceptable' if p.acceptable else 'NOT acceptable'}")
+        logger.info(render_grid(grid))
+    logger.info("\n=== Figure 3 ===")
     for p in psnr_vs_rs_curve(image, num_points=11):
-        print(f"  RS(Sum)={p.rs_sum:12.4g}  PSNR={p.psnr_db:6.2f} dB")
+        logger.info(f"  RS(Sum)={p.rs_sum:12.4g}  PSNR={p.psnr_db:6.2f} dB")
     return 0
 
 
@@ -185,14 +278,14 @@ def cmd_er_tests(args: argparse.Namespace) -> int:
         num_candidates=args.candidates,
         seed=args.seed,
     )
-    print(f"targets (ER > {args.er:g}): {len(ts.targets)} faults, "
-          f"{ts.skipped_faults} tolerable faults skipped")
-    print(f"test set: {ts.num_tests} vectors, coverage {100 * ts.coverage:.1f}%")
+    logger.info(f"targets (ER > {args.er:g}): {len(ts.targets)} faults, "
+                f"{ts.skipped_faults} tolerable faults skipped")
+    logger.info(f"test set: {ts.num_tests} vectors, coverage {100 * ts.coverage:.1f}%")
     if args.output:
         with open(args.output, "w") as fh:
             for row in ts.vectors:
                 fh.write("".join("1" if b else "0" for b in row) + "\n")
-        print(f"vectors written to {args.output} (one per line, input order)")
+        logger.info(f"vectors written to {args.output} (one per line, input order)")
     return 0
 
 
@@ -216,7 +309,7 @@ def cmd_yield(args: argparse.Namespace) -> int:
     report = classify_population(
         circuit, chips, threshold, num_vectors=args.vectors, seed=args.seed
     )
-    print(report)
+    logger.info(report)
     return 0
 
 
@@ -226,6 +319,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="ATPG-driven circuit simplification for error tolerant "
                     "applications (Shin & Gupta, DATE 2011 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="debug-level logging")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the stdout payload; warnings/errors only")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("stats", help="netlist statistics")
@@ -237,7 +334,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("netlist")
     p.add_argument("-o", "--output", default=None, help="write .bench here")
     _add_greedy_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_simplify)
+
+    p = sub.add_parser("report", help="profiling view over a run journal")
+    p.add_argument("journal", help="journal JSONL path from --journal")
+    p.add_argument("--top", type=int, default=12,
+                   help="counters to show in the hotspot table (default 12)")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("redundancy", help="classical redundancy removal")
     p.add_argument("netlist")
@@ -248,6 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("table2", help="Table II row on a built-in benchmark")
     p.add_argument("circuit", choices=["c880", "c1908", "c3540", "c5315", "c7552"])
     _add_greedy_options(p)
+    _add_obs_options(p)
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("dct-study", help="Section II JPEG/DCT study")
@@ -277,6 +382,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(func=cmd_yield)
 
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     return args.func(args)
 
 

@@ -32,6 +32,7 @@ import numpy as np
 from ..atpg.es_atpg import EsAtpg, EsStatus
 from ..circuit import Circuit
 from ..faults.model import StuckAtFault
+from ..obs.core import Instrumentation, get_active
 from ..simulation.batchfaultsim import BatchFaultSimulator, FaultBatchStats
 from ..simulation.logicsim import LogicSimulator, SimResult
 from ..simulation.vectors import exhaustive_vectors, pack_vectors, random_vectors
@@ -51,9 +52,11 @@ class MetricsEstimator:
         value_outputs: Optional[Sequence[str]] = None,
         exhaustive: bool = False,
         atpg_node_limit: int = 20_000,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
+        self.obs = obs if obs is not None else get_active()
         self.exhaustive = exhaustive
         if exhaustive:
             self.vectors = exhaustive_vectors(len(circuit.inputs))
@@ -116,8 +119,10 @@ class MetricsEstimator:
                 faults=faults,
                 value_outputs=self.value_outputs,
                 node_limit=self.atpg_node_limit,
+                obs=self.obs,
             )
-            es = atpg.estimate_es(observed_lower_bound=observed)
+            with self.obs.span("atpg.es_estimate"):
+                es = atpg.estimate_es(observed_lower_bound=observed)
         else:
             raise ValueError(f"unknown es_mode {es_mode!r}")
         return ErrorMetrics(
@@ -202,8 +207,11 @@ class MetricsEstimator:
             faults=faults,
             value_outputs=good_value_outputs,
             node_limit=node_limit or self.atpg_node_limit,
+            obs=self.obs,
         )
-        res = atpg.decide(t_star)
+        with self.obs.span("atpg.es_decide"):
+            res = atpg.decide(t_star)
+        self.obs.incr("estimator.check_rs_atpg_queries")
         if res.status is EsStatus.UNSAT:
             # An exact-path refutation also pins down the true ES.
             bound = res.deviation if res.deviation is not None else t_star - 1
@@ -240,8 +248,12 @@ class MetricsEstimator:
         """Differential simulation only: returns (ER, observed ES)."""
         target = approx if approx is not None else self.circuit
         sim = self._simulator_for(target)
-        res = sim.run_packed(self.packed, self.num_vectors, faults)
-        return self._compare(target, res)
+        with self.obs.span("estimator.simulate"):
+            res = sim.run_packed(self.packed, self.num_vectors, faults)
+            pair = self._compare(target, res)
+        self.obs.incr("estimator.simulate_calls")
+        self.obs.incr("estimator.vectors_simulated", self.num_vectors)
+        return pair
 
     def simulate_faults(
         self,
@@ -272,22 +284,26 @@ class MetricsEstimator:
         key = id(target)
         bsim = self._batch_cache.get(key)
         if bsim is not None and bsim.circuit is target:
+            self.obs.incr("estimator.batchsim_cache_hits")
             return bsim
+        self.obs.incr("estimator.batchsim_cache_misses")
         if len(target.outputs) != len(self.circuit.outputs):
             raise ValueError("approximate circuit must preserve the output count")
         value_names = [target.outputs[p] for p in self._value_pos]
-        bsim = BatchFaultSimulator(
-            target,
-            observe_outputs=target.outputs,
-            value_outputs=value_names,
-            weights=self.weights,
-        )
-        bsim.load_batch(
-            packed=self.packed,
-            num_vectors=self.num_vectors,
-            reference_outputs=self._good_words_arr,
-            reference_value_bits=self._good_value_bits,
-        )
+        with self.obs.span("estimator.batchsim_build"):
+            bsim = BatchFaultSimulator(
+                target,
+                observe_outputs=target.outputs,
+                value_outputs=value_names,
+                weights=self.weights,
+                obs=self.obs,
+            )
+            bsim.load_batch(
+                packed=self.packed,
+                num_vectors=self.num_vectors,
+                reference_outputs=self._good_words_arr,
+                reference_value_bits=self._good_value_bits,
+            )
         self._batch_cache = {key: bsim}  # keep only the latest netlist
         return bsim
 
@@ -295,8 +311,11 @@ class MetricsEstimator:
         key = id(target)
         sim = self._sim_cache.get(key)
         if sim is None or sim.circuit is not target:
+            self.obs.incr("estimator.sim_cache_misses")
             sim = LogicSimulator(target)
             self._sim_cache = {key: sim}  # keep only the latest netlist
+        else:
+            self.obs.incr("estimator.sim_cache_hits")
         return sim
 
     def _compare(self, target: Circuit, res: SimResult) -> Tuple[float, int]:

@@ -1,0 +1,47 @@
+"""Observability layer: instrumentation core, run journal, profiling report.
+
+See DESIGN.md §7.  ``repro.obs.core`` is the zero-dependency span/
+counter/gauge registry the hot paths record into; ``repro.obs.journal``
+is the per-run JSONL event stream; ``repro.obs.report`` renders the
+``repro report`` profiling view from a journal.
+"""
+
+from .core import (
+    NULL,
+    Instrumentation,
+    NullInstrumentation,
+    TimerStat,
+    get_active,
+    set_active,
+    use,
+)
+from .journal import (
+    JOURNAL_VERSION,
+    REQUIRED_KEYS,
+    JournalError,
+    RunJournal,
+    load_journal,
+    read_journal,
+    validate_event,
+)
+from .report import render_report, render_snapshot, report_from_file
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL",
+    "TimerStat",
+    "get_active",
+    "set_active",
+    "use",
+    "JOURNAL_VERSION",
+    "REQUIRED_KEYS",
+    "JournalError",
+    "RunJournal",
+    "read_journal",
+    "load_journal",
+    "validate_event",
+    "render_report",
+    "render_snapshot",
+    "report_from_file",
+]

@@ -1,0 +1,210 @@
+"""Structured run journal: one JSONL event stream per simplification run.
+
+A journal is an append-only sequence of JSON objects, one per line:
+
+* ``run_start`` -- run header: circuit identity (name/inputs/outputs/
+  area), RS threshold, greedy config, seed and vector-batch size;
+* ``iteration`` -- one committed simplification step: the accepted
+  fault, area before/after, ER/ES/RS of the cumulative change plus the
+  deltas against the previous step, FOM value, candidates evaluated,
+  per-phase wall times and the counter deltas (cache hits, vectors
+  simulated, ATPG effort) attributable to the step.  Prepass
+  (redundancy) injections carry ``"phase": "prepass"``, greedy commits
+  ``"phase": "greedy"``;
+* ``summary`` -- final metrics, totals, and the full instrumentation
+  snapshot (timers/counters/gauges).
+
+Durability contract: every event is serialized to a full line first and
+handed to the OS in a **single buffered write followed by a flush**, so
+a run killed between events leaves a journal whose every line is a
+complete, parseable event -- interrupted runs keep a readable prefix.
+(A kill *during* the one write can leave at most one torn final line;
+:func:`read_journal` tolerates exactly that.)  The file itself is
+opened in ``w`` mode: a journal path names one run.
+
+:func:`read_journal` / :func:`validate_event` are the consumer side:
+the reader yields parsed events in order and (non-strict mode) ignores
+a torn final line, while validation pins the per-type required keys so
+the `repro report` renderer and the tests share one schema source.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "REQUIRED_KEYS",
+    "JournalError",
+    "RunJournal",
+    "validate_event",
+    "read_journal",
+    "load_journal",
+]
+
+JOURNAL_VERSION = 1
+
+#: Required keys per event type.  ``iteration`` deliberately does not
+#: require ``phase_times``/``counters`` -- they are best-effort detail,
+#: while the listed keys are the analysis contract.
+REQUIRED_KEYS: Dict[str, tuple] = {
+    "run_start": (
+        "event",
+        "version",
+        "circuit",
+        "num_inputs",
+        "num_outputs",
+        "area",
+        "rs_threshold",
+        "rs_max",
+        "seed",
+        "num_vectors",
+        "config",
+    ),
+    "iteration": (
+        "event",
+        "index",
+        "phase",
+        "fault",
+        "area_before",
+        "area_after",
+        "er",
+        "es",
+        "observed_es",
+        "rs",
+        "delta_er",
+        "delta_es",
+        "delta_rs",
+        "fom",
+        "candidates_evaluated",
+    ),
+    "summary": (
+        "event",
+        "iterations",
+        "faults_injected",
+        "area_before",
+        "area_after",
+        "area_reduction_pct",
+        "elapsed_s",
+        "timers",
+        "counters",
+    ),
+}
+
+
+class JournalError(ValueError):
+    """A journal line or event violates the schema."""
+
+
+def validate_event(event: Dict) -> Dict:
+    """Check an event against :data:`REQUIRED_KEYS`; returns it unchanged."""
+    if not isinstance(event, dict):
+        raise JournalError(f"journal event must be an object, got {type(event).__name__}")
+    etype = event.get("event")
+    required = REQUIRED_KEYS.get(etype)
+    if required is None:
+        raise JournalError(f"unknown journal event type {etype!r}")
+    missing = [k for k in required if k not in event]
+    if missing:
+        raise JournalError(f"{etype} event missing required keys: {missing}")
+    return event
+
+
+class RunJournal:
+    """JSONL event writer with a readable-prefix durability guarantee.
+
+    ``fsync=True`` additionally forces every event to stable storage
+    (for crash-hardened runs; the default only guarantees the prefix
+    property against process death, not power loss).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], fsync: bool = False) -> None:
+        self.path = os.fspath(path)
+        self._fsync = fsync
+        self._fh: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, event: Dict) -> None:
+        """Validate, serialize and durably append one event line."""
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        validate_event(event)
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True, default=_jsonify)
+        # One write call for the complete line, then flush: an interrupt
+        # between events never tears a line.
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _jsonify(obj):
+    """JSON fallback for config payloads (numpy scalars, odd objects)."""
+    for cast in (int, float):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+def read_journal(
+    path: Union[str, os.PathLike],
+    strict: bool = False,
+    validate: bool = True,
+) -> Iterator[Dict]:
+    """Yield the parsed events of a journal file in order.
+
+    In the default non-strict mode a torn **final** line (the one
+    partial write an interrupt can leave behind) is silently ignored;
+    any other malformed or mid-file garbage line raises
+    :class:`JournalError` either way, because it means the file is not
+    a journal prefix but a corrupted stream.
+    """
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        raw = fh.read()
+    lines = raw.split("\n")
+    trailing_complete = lines and lines[-1] == ""
+    if trailing_complete:
+        lines.pop()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        is_last = i == len(lines) - 1
+        try:
+            event = json.loads(line)
+            if validate:
+                validate_event(event)
+        except (json.JSONDecodeError, JournalError) as exc:
+            if is_last and not trailing_complete and not strict:
+                return  # torn final line from an interrupted run
+            raise JournalError(f"{path}: bad journal line {i + 1}: {exc}") from exc
+        yield event
+
+
+def load_journal(
+    path: Union[str, os.PathLike],
+    strict: bool = False,
+    validate: bool = True,
+) -> List[Dict]:
+    """Eager list form of :func:`read_journal`."""
+    return list(read_journal(path, strict=strict, validate=validate))

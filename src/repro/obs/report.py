@@ -1,0 +1,186 @@
+"""Profiling view over a run journal: ``repro report <journal.jsonl>``.
+
+Renders three sections from the JSONL event stream of one run:
+
+* **phase-time breakdown** -- the hierarchical span timers from the
+  summary snapshot, one row per span path with total/share/count/mean.
+  For interrupted runs (no summary event) the per-iteration
+  ``phase_times`` are aggregated instead, so a readable journal prefix
+  still profiles;
+* **iteration table** -- fault, area trajectory, ER/ES/RS and deltas
+  per committed step;
+* **top-k hotspot counters** -- the largest monotonic counters
+  (vectors simulated, cache hits/misses, ATPG backtracks, ...).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Union
+
+from .journal import JournalError, load_journal
+
+__all__ = ["render_report", "report_from_file", "render_snapshot"]
+
+
+def render_snapshot(snapshot: Dict, top_k: int = 12) -> str:
+    """Render phase times + counters straight from an
+    :meth:`~repro.obs.core.Instrumentation.snapshot` (the ``--profile``
+    view, no journal needed)."""
+    pseudo_summary = {
+        "timers": snapshot.get("timers", {}),
+        "counters": snapshot.get("counters", {}),
+    }
+    lines = _render_phase_times([], pseudo_summary)
+    lines.append("")
+    lines.extend(_render_counters([], pseudo_summary, top_k))
+    return "\n".join(lines)
+
+
+def report_from_file(
+    path: Union[str, os.PathLike], top_k: int = 12
+) -> str:
+    """Load a journal file and render the profiling report."""
+    events = load_journal(path)
+    if not events:
+        raise JournalError(f"{path}: empty journal")
+    return render_report(events, top_k=top_k)
+
+
+def render_report(events: Sequence[Dict], top_k: int = 12) -> str:
+    """Render the report from already-parsed journal events."""
+    header = next((e for e in events if e.get("event") == "run_start"), None)
+    iterations = [e for e in events if e.get("event") == "iteration"]
+    summary = next((e for e in events if e.get("event") == "summary"), None)
+
+    out: List[str] = []
+    out.extend(_render_header(header, iterations, summary))
+    out.append("")
+    out.extend(_render_phase_times(iterations, summary))
+    out.append("")
+    out.extend(_render_iterations(iterations))
+    out.append("")
+    out.extend(_render_counters(iterations, summary, top_k))
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+def _render_header(
+    header: Optional[Dict], iterations: List[Dict], summary: Optional[Dict]
+) -> List[str]:
+    lines = ["=== run ==="]
+    if header is not None:
+        lines.append(
+            f"circuit: {header['circuit']} "
+            f"({header['num_inputs']} inputs, {header['num_outputs']} outputs, "
+            f"area {header['area']})"
+        )
+        pct = (
+            100.0 * header["rs_threshold"] / header["rs_max"]
+            if header.get("rs_max")
+            else 0.0
+        )
+        lines.append(
+            f"RS threshold: {header['rs_threshold']:.6g} "
+            f"({pct:.4g}% of RS_max {header['rs_max']:.6g})"
+        )
+        lines.append(
+            f"vectors: {header['num_vectors']}  seed: {header['seed']}"
+        )
+    else:
+        lines.append("(no run_start header -- journal prefix starts mid-run)")
+    if summary is not None:
+        lines.append(
+            f"status: complete -- {summary['faults_injected']} faults, "
+            f"area {summary['area_before']} -> {summary['area_after']} "
+            f"({summary['area_reduction_pct']:.2f}%), "
+            f"{summary['elapsed_s']:.2f}s"
+        )
+    else:
+        lines.append(
+            f"status: INTERRUPTED -- readable prefix holds "
+            f"{len(iterations)} iteration(s)"
+        )
+    return lines
+
+
+def _render_phase_times(
+    iterations: List[Dict], summary: Optional[Dict]
+) -> List[str]:
+    lines = ["=== phase times ==="]
+    if summary is not None and summary.get("timers"):
+        timers = {
+            path: (stat["total_s"], int(stat["count"]))
+            for path, stat in summary["timers"].items()
+        }
+    else:
+        # Interrupted run: rebuild from per-iteration phase_times.
+        timers = {}
+        for ev in iterations:
+            for phase, secs in (ev.get("phase_times") or {}).items():
+                total, count = timers.get(phase, (0.0, 0))
+                timers[phase] = (total + secs, count + 1)
+    if not timers:
+        lines.append("(no timing data recorded)")
+        return lines
+    # Top-level spans partition the run; their sum is the 100% basis.
+    top_total = sum(t for path, (t, _c) in timers.items() if "/" not in path)
+    basis = top_total or sum(t for t, _c in timers.values()) or 1.0
+    width = max(len(p) for p in timers)
+    lines.append(f"{'phase':<{width}}  {'total':>9}  {'share':>6}  {'calls':>8}  {'mean':>9}")
+    for path, (total, count) in sorted(timers.items(), key=lambda kv: -kv[1][0]):
+        mean = total / count if count else 0.0
+        lines.append(
+            f"{path:<{width}}  {_fmt_s(total):>9}  {100 * total / basis:5.1f}%  "
+            f"{count:>8}  {_fmt_s(mean):>9}"
+        )
+    return lines
+
+
+def _render_iterations(iterations: List[Dict]) -> List[str]:
+    lines = ["=== iterations ==="]
+    if not iterations:
+        lines.append("(no committed iterations)")
+        return lines
+    fault_w = max(5, max(len(str(ev["fault"])) for ev in iterations))
+    lines.append(
+        f"{'#':>3} {'ph':<3} {'fault':<{fault_w}} {'area':>5} {'-d':>4} "
+        f"{'ER':>8} {'ES':>10} {'RS':>10} {'dRS':>10} {'cands':>5}"
+    )
+    for ev in iterations:
+        delta = ev["area_before"] - ev["area_after"]
+        lines.append(
+            f"{ev['index']:>3} {ev['phase'][:3]:<3} {str(ev['fault']):<{fault_w}} "
+            f"{ev['area_after']:>5} {delta:>4} "
+            f"{ev['er']:>8.4f} {ev['es']:>10.4g} {ev['rs']:>10.4g} "
+            f"{ev['delta_rs']:>+10.3g} {ev['candidates_evaluated']:>5}"
+        )
+    return lines
+
+
+def _render_counters(
+    iterations: List[Dict], summary: Optional[Dict], top_k: int
+) -> List[str]:
+    lines = [f"=== top counters (k={top_k}) ==="]
+    if summary is not None and summary.get("counters"):
+        counters: Dict[str, int] = dict(summary["counters"])
+    else:
+        counters = {}
+        for ev in iterations:
+            for name, n in (ev.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + n
+    if not counters:
+        lines.append("(no counters recorded)")
+        return lines
+    width = max(len(n) for n in counters)
+    for name, n in sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:top_k]:
+        lines.append(f"{name:<{width}}  {n:>14,}")
+    return lines
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"

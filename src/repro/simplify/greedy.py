@@ -25,14 +25,19 @@ bound).  Set ``candidate_limit=None`` for the paper's full O(kp) scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import math
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..circuit import Circuit
 from ..circuit.structure import datapath_signals
 from ..faults.model import StuckAtFault, datapath_faults, enumerate_faults
 from ..metrics.errors import ErrorMetrics, rs_max
 from ..metrics.estimate import MetricsEstimator
+from ..obs.core import Instrumentation, get_active
+from ..obs.journal import JOURNAL_VERSION, RunJournal
 from .engine import Overlay, preview_area_reduction
 
 __all__ = ["GreedyConfig", "IterationRecord", "GreedyResult", "circuit_simplify"]
@@ -111,7 +116,17 @@ class GreedyConfig:
 
 @dataclass
 class IterationRecord:
-    """One committed simplification step."""
+    """One committed simplification step.
+
+    Beyond the identity of the step (fault, area trajectory, metrics),
+    the record carries the step's telemetry: ``phase`` distinguishes
+    redundancy-prepass injections from greedy commits, ``phase_times``
+    holds the wall seconds of the step's internal phases (candidate
+    enumeration / ranking / commit for greedy steps), and ``counters``
+    the instrumentation counter deltas attributable to the step (cache
+    hits, vectors simulated, ATPG effort; empty when instrumentation is
+    disabled).  These feed the run journal one-for-one.
+    """
 
     index: int
     fault: StuckAtFault
@@ -120,6 +135,9 @@ class IterationRecord:
     metrics: ErrorMetrics
     fom_value: float
     candidates_evaluated: int
+    phase: str = "greedy"
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def area_delta(self) -> int:
@@ -167,11 +185,20 @@ def circuit_simplify(
     rs_threshold: Optional[float] = None,
     rs_pct_threshold: Optional[float] = None,
     config: Optional[GreedyConfig] = None,
+    journal: Optional[Union[str, os.PathLike, RunJournal]] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> GreedyResult:
     """Greedy maximal area reduction within an RS budget (paper Fig. 6).
 
     Exactly one of ``rs_threshold`` (absolute RS) or ``rs_pct_threshold``
     (percent of the circuit's maximum RS, as in Table II) must be given.
+
+    ``journal`` (a path or an open :class:`~repro.obs.journal.RunJournal`)
+    streams one JSONL event per committed step plus a run header and a
+    final summary; an interrupted run leaves a readable prefix.
+    ``obs`` overrides the active instrumentation registry; when a
+    journal is requested and instrumentation is off, a private registry
+    is switched on so the journal always carries real phase timings.
     """
     cfg = config or GreedyConfig()
     if (rs_threshold is None) == (rs_pct_threshold is None):
@@ -185,12 +212,20 @@ def circuit_simplify(
     if cfg.fom not in ("area", "area_per_rs"):
         raise ValueError(f"unknown FOM {cfg.fom!r}")
 
+    obs = obs if obs is not None else get_active()
+    own_journal = journal is not None and not isinstance(journal, RunJournal)
+    if own_journal:
+        journal = RunJournal(journal)
+    if journal is not None and not obs.enabled:
+        obs = Instrumentation()
+
     estimator = MetricsEstimator(
         circuit,
         num_vectors=cfg.num_vectors,
         seed=cfg.seed,
         exhaustive=cfg.exhaustive,
         atpg_node_limit=cfg.atpg_node_limit,
+        obs=obs,
     )
     result = GreedyResult(
         original=circuit,
@@ -198,69 +233,147 @@ def circuit_simplify(
         rs_threshold=threshold,
         config=cfg,
     )
+    t_run = time.perf_counter()
+    if journal is not None:
+        journal.emit(
+            {
+                "event": "run_start",
+                "version": JOURNAL_VERSION,
+                "circuit": circuit.name,
+                "num_inputs": len(circuit.inputs),
+                "num_outputs": len(circuit.outputs),
+                "area": circuit.area(),
+                "rs_threshold": threshold,
+                "rs_max": float(maximum),
+                "seed": cfg.seed,
+                "num_vectors": estimator.num_vectors,
+                "config": asdict(cfg),
+            }
+        )
+    try:
+        _run_greedy(circuit, cfg, estimator, result, threshold, obs, journal)
+        if journal is not None:
+            snap = obs.snapshot()
+            journal.emit(
+                {
+                    "event": "summary",
+                    "iterations": len(result.iterations),
+                    "faults_injected": len(result.faults),
+                    "area_before": circuit.area(),
+                    "area_after": result.simplified.area(),
+                    "area_reduction_pct": result.area_reduction_pct,
+                    "final_er": result.final_metrics.er if result.final_metrics else None,
+                    "final_es": result.final_metrics.es if result.final_metrics else None,
+                    "final_rs": result.final_metrics.rs if result.final_metrics else None,
+                    "elapsed_s": time.perf_counter() - t_run,
+                    "timers": snap["timers"],
+                    "counters": snap["counters"],
+                    "gauges": snap["gauges"],
+                }
+            )
+    finally:
+        if own_journal:
+            journal.close()
+    return result
+
+
+def _run_greedy(
+    circuit: Circuit,
+    cfg: GreedyConfig,
+    estimator: MetricsEstimator,
+    result: GreedyResult,
+    threshold: float,
+    obs: Instrumentation,
+    journal: Optional[RunJournal],
+) -> None:
+    """The prepass + greedy loop proper, instrumented and journaled."""
     current = result.simplified
     current_rs = 0.0
     banned: Set[Tuple] = set()
     use_atpg = cfg.es_mode != "simulated"
+    prev = _MetricsCursor()
 
     reference: Optional[Circuit] = None
     if cfg.redundancy_prepass:
-        current = _apply_redundancy_prepass(current, cfg, estimator, result)
+        with obs.span("prepass"):
+            current = _apply_redundancy_prepass(current, cfg, estimator, result)
+        for rec in result.iterations:
+            _emit_iteration(journal, rec, prev)
         if result.faults:
             # Every prepass injection is PODEM-proven function
             # preserving, so the restructured netlist can serve as the
             # good machine for subsequent affected-cone analysis.
             reference = current
 
-    for iteration in range(cfg.max_iterations):
-        candidates = _candidate_faults(current, cfg)
-        candidates = [f for f in candidates if _fault_key(f) not in banned]
-        if not candidates:
-            break
+    with obs.span("greedy"):
+        for iteration in range(cfg.max_iterations):
+            counters_base = dict(obs.counters)
+            t0 = time.perf_counter()
+            with obs.span("candidates"):
+                candidates = _candidate_faults(current, cfg)
+                candidates = [f for f in candidates if _fault_key(f) not in banned]
+            t_candidates = time.perf_counter() - t0
+            if not candidates:
+                break
 
-        scored = _rank_candidates(current, candidates, cfg, estimator, threshold, current_rs)
-        committed = False
-        evaluated = len(scored)
-        for fom_value, fault, _sim_rs in scored:
-            # Build the tentative netlist and take the commit decision
-            # with the configured (conservative) ES.
-            overlay = Overlay(current)
-            try:
-                overlay.apply(fault)
-            except Exception:
-                banned.add(_fault_key(fault))
-                continue
-            tentative = overlay.materialize(current.name)
-            accepted, metrics = estimator.check_rs(
-                threshold,
-                approx=tentative,
-                use_atpg=use_atpg,
-                pow2_es=cfg.pow2_es,
-                structural_reference=reference,
-            )
-            if not accepted:
-                banned.add(_fault_key(fault))
-                continue
-            result.iterations.append(
-                IterationRecord(
-                    index=iteration,
-                    fault=fault,
-                    area_before=current.area(),
-                    area_after=tentative.area(),
-                    metrics=metrics,
-                    fom_value=fom_value,
-                    candidates_evaluated=evaluated,
+            t0 = time.perf_counter()
+            with obs.span("rank"):
+                scored = _rank_candidates(
+                    current, candidates, cfg, estimator, threshold, current_rs
                 )
-            )
-            result.faults.append(fault)
-            current = tentative
-            result.simplified = current
-            current_rs = metrics.rs
-            result.final_metrics = metrics
-            committed = True
-            break
-        if not committed:
-            break
+            t_rank = time.perf_counter() - t0
+            committed = False
+            evaluated = len(scored)
+            t0 = time.perf_counter()
+            with obs.span("commit"):
+                for fom_value, fault, _sim_rs in scored:
+                    # Build the tentative netlist and take the commit
+                    # decision with the configured (conservative) ES.
+                    overlay = Overlay(current)
+                    try:
+                        overlay.apply(fault)
+                    except Exception:
+                        banned.add(_fault_key(fault))
+                        continue
+                    tentative = overlay.materialize(current.name)
+                    accepted, metrics = estimator.check_rs(
+                        threshold,
+                        approx=tentative,
+                        use_atpg=use_atpg,
+                        pow2_es=cfg.pow2_es,
+                        structural_reference=reference,
+                    )
+                    if not accepted:
+                        obs.incr("greedy.commits_rejected")
+                        banned.add(_fault_key(fault))
+                        continue
+                    rec = IterationRecord(
+                        index=iteration,
+                        fault=fault,
+                        area_before=current.area(),
+                        area_after=tentative.area(),
+                        metrics=metrics,
+                        fom_value=fom_value,
+                        candidates_evaluated=evaluated,
+                        phase_times={
+                            "candidates": t_candidates,
+                            "rank": t_rank,
+                            "commit": time.perf_counter() - t0,
+                        },
+                        counters=obs.counters_since(counters_base),
+                    )
+                    result.iterations.append(rec)
+                    result.faults.append(fault)
+                    current = tentative
+                    result.simplified = current
+                    current_rs = metrics.rs
+                    result.final_metrics = metrics
+                    committed = True
+                    obs.incr("greedy.commits_accepted")
+                    _emit_iteration(journal, rec, prev)
+                    break
+            if not committed:
+                break
 
     if result.final_metrics is None:
         _ok, result.final_metrics = estimator.check_rs(
@@ -269,7 +382,47 @@ def circuit_simplify(
             use_atpg=use_atpg,
             structural_reference=reference,
         )
-    return result
+
+
+class _MetricsCursor:
+    """Tracks the previous step's ER/ES/RS for journal delta fields."""
+
+    __slots__ = ("er", "es", "rs")
+
+    def __init__(self) -> None:
+        self.er = 0.0
+        self.es = 0
+        self.rs = 0.0
+
+
+def _emit_iteration(
+    journal: Optional[RunJournal], rec: IterationRecord, prev: _MetricsCursor
+) -> None:
+    """Emit one iteration event; advances the delta cursor either way."""
+    m = rec.metrics
+    if journal is not None:
+        journal.emit(
+            {
+                "event": "iteration",
+                "index": rec.index,
+                "phase": rec.phase,
+                "fault": str(rec.fault),
+                "area_before": rec.area_before,
+                "area_after": rec.area_after,
+                "er": m.er,
+                "es": m.es,
+                "observed_es": m.observed_es,
+                "rs": m.rs,
+                "delta_er": m.er - prev.er,
+                "delta_es": m.es - prev.es,
+                "delta_rs": m.rs - prev.rs,
+                "fom": rec.fom_value if math.isfinite(rec.fom_value) else None,
+                "candidates_evaluated": rec.candidates_evaluated,
+                "phase_times": rec.phase_times,
+                "counters": rec.counters,
+            }
+        )
+    prev.er, prev.es, prev.rs = m.er, m.es, m.rs
 
 
 # ----------------------------------------------------------------------
@@ -306,14 +459,16 @@ def _apply_redundancy_prepass(
     screen_vecs = random_vectors(
         len(current.inputs), 256, np.random.default_rng(cfg.seed + 7)
     )
-    fsim = FaultSimulator(current)
+    fsim = FaultSimulator(current, obs=estimator.obs)
     survivors = []
     for rep, members in classes.members.items():
         d = fsim.differential(screen_vecs, [rep])
         if not d.detected.any():
             survivors.append((rep, members))
 
-    podem = Podem(current, backtrack_limit=cfg.prepass_backtrack_limit)
+    podem = Podem(
+        current, backtrack_limit=cfg.prepass_backtrack_limit, obs=estimator.obs
+    )
     redundant: List[StuckAtFault] = []
     for rep, members in survivors:
         if podem.run(rep).status is AtpgStatus.REDUNDANT:
@@ -338,7 +493,11 @@ def _apply_redundancy_prepass(
             # lets the result serve as a structural reference later).
             if not current.has_signal(fault.line.signal):
                 continue
-            recheck = Podem(current, backtrack_limit=cfg.prepass_backtrack_limit)
+            recheck = Podem(
+                current,
+                backtrack_limit=cfg.prepass_backtrack_limit,
+                obs=estimator.obs,
+            )
             if recheck.run(fault).status is not AtpgStatus.REDUNDANT:
                 continue
         tentative = overlay.materialize(current.name)
@@ -361,6 +520,7 @@ def _apply_redundancy_prepass(
                 ),
                 fom_value=float("inf"),
                 candidates_evaluated=len(redundant),
+                phase="prepass",
             )
         )
         result.faults.append(fault)

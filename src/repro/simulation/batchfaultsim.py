@@ -53,6 +53,7 @@ from ..circuit.gates import ALL_ONES
 from ..circuit.netlist import CircuitError
 from ..circuit.structure import fanout_cone_gates
 from ..faults.model import Line, StuckAtFault
+from ..obs.core import Instrumentation, get_active
 from .logicsim import LogicSimulator, SimResult, _eval_into
 from .vectors import pack_vectors, popcount_words, tail_mask, unpack_vectors
 
@@ -206,8 +207,10 @@ class BatchFaultSimulator:
         observe_outputs: Optional[Sequence[str]] = None,
         value_outputs: Optional[Sequence[str]] = None,
         weights: Optional[Sequence[int]] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.circuit = circuit
+        self.obs = obs if obs is not None else get_active()
         self.sim = LogicSimulator(circuit)
         self.observe_outputs = tuple(observe_outputs or circuit.outputs)
         if value_outputs is not None:
@@ -348,7 +351,9 @@ class BatchFaultSimulator:
         key = ("stem", line.signal) if line.is_stem else ("branch", line.gate)
         plan = self._plan_cache.get(key)
         if plan is not None:
+            self.obs.incr("batchsim.plan_cache_hits")
             return plan
+        self.obs.incr("batchsim.plan_cache_misses")
         if line.is_stem:
             gates = fanout_cone_gates(self.circuit, line.signal, self._topo_pos)
             rows = [self.sim.index_of(line.signal)]
@@ -380,6 +385,8 @@ class BatchFaultSimulator:
             val_rows=val_rows,
         )
         self._plan_cache[key] = plan
+        self.obs.incr("batchsim.cone_gates_compiled", len(gates))
+        self.obs.gauge_max("batchsim.cone_gates_max", len(gates))
         return plan
 
     def _group_entries(self, gates: Sequence[str]) -> Tuple[Tuple, ...]:
@@ -441,10 +448,13 @@ class BatchFaultSimulator:
             else:
                 chunk_words = max(8, -(-self._w // 8))
         chunk_words = max(1, int(chunk_words))
-        return [
-            self._evaluate_one(f, rs_drop_threshold, chunk_words, detailed)
-            for f in faults
-        ]
+        with self.obs.span("batchsim.evaluate"):
+            stats = [
+                self._evaluate_one(f, rs_drop_threshold, chunk_words, detailed)
+                for f in faults
+            ]
+        self.obs.incr("batchsim.faults_evaluated", len(stats))
+        return stats
 
     def _evaluate_one(
         self,
@@ -539,6 +549,11 @@ class BatchFaultSimulator:
         # restore the disturbed rows so the work array equals the
         # baseline again for the next fault
         work[plan.rows] = base[plan.rows]
+
+        self.obs.incr("batchsim.words_simulated", words_done)
+        if words_done < self._w:
+            self.obs.incr("batchsim.faults_dropped")
+            self.obs.incr("batchsim.words_skipped", self._w - words_done)
 
         return FaultBatchStats(
             fault=fault,

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..circuit import Circuit
 from ..faults.model import StuckAtFault
+from ..obs.core import Instrumentation, get_active
 from .logicsim import LogicSimulator, SimResult
 from .vectors import pack_vectors, random_vectors, exhaustive_vectors
 
@@ -89,8 +90,10 @@ class FaultSimulator:
         circuit: Circuit,
         observe_outputs: Optional[Sequence[str]] = None,
         value_outputs: Optional[Sequence[str]] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.circuit = circuit
+        self.obs = obs if obs is not None else get_active()
         self.sim = LogicSimulator(circuit)
         self.observe_outputs = tuple(observe_outputs or circuit.outputs)
         if value_outputs is not None:
@@ -120,8 +123,12 @@ class FaultSimulator:
         n = vecs.shape[0]
         if good is None:
             good = self.good_result(vecs, packed)
-        faulty = self.sim.run_packed(packed, n, faults)
-        return self.compare(good, faulty)
+        with self.obs.span("faultsim.differential"):
+            faulty = self.sim.run_packed(packed, n, faults)
+            result = self.compare(good, faulty)
+        self.obs.incr("faultsim.batches", 1)
+        self.obs.incr("faultsim.vectors_simulated", n)
+        return result
 
     def good_result(
         self, vectors: np.ndarray, packed: Optional[np.ndarray] = None
@@ -139,7 +146,9 @@ class FaultSimulator:
         key = (vectors.shape[0], hashlib.sha1(packed.tobytes()).digest())
         cached = self._good_cache.get(key)
         if cached is not None:
+            self.obs.incr("faultsim.good_cache_hits")
             return cached
+        self.obs.incr("faultsim.good_cache_misses")
         res = self.sim.run_packed(packed, vectors.shape[0], ())
         self._good_cache = {key: res}  # keep only the latest batch
         return res

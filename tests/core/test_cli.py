@@ -103,3 +103,51 @@ def test_yield_command(netlist, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "classical" in out and "effective" in out
+
+
+def test_simplify_journal_and_report_roundtrip(netlist, tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    rc = main(
+        ["simplify", netlist, "--rs-pct", "5", "--vectors", "1000",
+         "--journal", str(journal)]
+    )
+    assert rc == 0
+    assert "run journal written to" in capsys.readouterr().out
+    from repro.obs import load_journal
+
+    events = load_journal(journal, strict=True)
+    assert events[0]["event"] == "run_start"
+    assert events[-1]["event"] == "summary"
+
+    assert main(["report", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "=== run ===" in out
+    assert "status: complete" in out
+    assert "=== phase times ===" in out
+    assert "greedy" in out
+
+
+def test_report_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+    assert "nope.jsonl" in capsys.readouterr().err
+
+
+def test_simplify_profile_prints_phase_times(netlist, capsys):
+    rc = main(
+        ["simplify", netlist, "--rs-pct", "5", "--vectors", "500", "--profile"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "=== phase times ===" in out
+    assert "=== top counters" in out
+
+
+def test_quiet_suppresses_stdout_but_not_errors(netlist, tmp_path, capsys):
+    rc = main(["--quiet", "stats", netlist])
+    assert rc == 0
+    assert capsys.readouterr().out == ""
+    # errors still reach stderr under --quiet
+    assert main(["--quiet", "report", str(tmp_path / "nope.jsonl")]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "nope.jsonl" in captured.err

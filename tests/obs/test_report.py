@@ -1,0 +1,136 @@
+"""Report renderer: complete runs, interrupted prefixes, snapshots."""
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    JournalError,
+    render_report,
+    render_snapshot,
+    report_from_file,
+)
+from repro.obs.report import _fmt_s
+
+from .test_journal import _header, _iteration
+
+
+def _summary(**over):
+    ev = {
+        "event": "summary",
+        "iterations": 2,
+        "faults_injected": 2,
+        "area_before": 3,
+        "area_after": 1,
+        "area_reduction_pct": 66.7,
+        "elapsed_s": 1.5,
+        "timers": {
+            "greedy": {"total_s": 1.2, "count": 1, "mean_s": 1.2},
+            "greedy/rank": {"total_s": 0.9, "count": 2, "mean_s": 0.45},
+            "prepass": {"total_s": 0.3, "count": 1, "mean_s": 0.3},
+        },
+        "counters": {"batchsim.vectors": 4000, "podem.backtracks": 17},
+    }
+    ev.update(over)
+    return ev
+
+
+def _complete_events():
+    return [
+        _header(circuit="c17"),
+        _iteration(0),
+        _iteration(1, fault="G3 SA1", area_before=2, area_after=1),
+        _summary(),
+    ]
+
+
+def test_complete_run_renders_all_sections():
+    out = render_report(_complete_events())
+    assert "=== run ===" in out
+    assert "circuit: c17" in out
+    assert "status: complete" in out
+    assert "=== phase times ===" in out
+    # top-level spans (greedy + prepass = 1.5s) are the 100% basis
+    assert "greedy" in out and "prepass" in out
+    assert "greedy/rank" in out
+    assert "=== iterations ===" in out
+    assert "G3 SA1" in out
+    assert "=== top counters" in out
+    assert "batchsim.vectors" in out and "4,000" in out
+
+
+def test_phase_share_uses_top_level_spans_as_basis():
+    out = render_report(_complete_events())
+    greedy_row = next(
+        line for line in out.splitlines() if line.startswith("greedy ")
+    )
+    # greedy is 1.2s of the 1.5s partitioned by top-level spans: 80%
+    assert "80.0%" in greedy_row
+
+
+def test_interrupted_run_aggregates_iteration_phase_times():
+    events = [
+        _header(),
+        _iteration(0, phase_times={"rank": 0.2, "commit": 0.1}, counters={"c": 5}),
+        _iteration(1, phase_times={"rank": 0.4, "commit": 0.1}, counters={"c": 7}),
+    ]
+    out = render_report(events)
+    assert "status: INTERRUPTED -- readable prefix holds 2 iteration(s)" in out
+    assert "rank" in out and "commit" in out
+    # counters summed across the prefix
+    assert "12" in out
+
+
+def test_headerless_prefix_still_renders():
+    out = render_report([_iteration(0)])
+    assert "(no run_start header -- journal prefix starts mid-run)" in out
+    assert "status: INTERRUPTED" in out
+
+
+def test_no_iterations_and_no_timers_degrade_gracefully():
+    out = render_report([_header()])
+    assert "(no timing data recorded)" in out
+    assert "(no committed iterations)" in out
+    assert "(no counters recorded)" in out
+
+
+def test_top_k_limits_counter_rows():
+    summary = _summary(counters={f"c{i:02d}": 100 - i for i in range(20)})
+    out = render_report([_header(), summary], top_k=3)
+    import re
+
+    counter_lines = [
+        line for line in out.splitlines() if re.match(r"^c\d\d\b", line)
+    ]
+    assert len(counter_lines) == 3
+    assert "c00" in out and "c03" not in out
+
+
+def test_render_snapshot_profile_view():
+    obs = Instrumentation()
+    with obs.span("rank"):
+        obs.incr("vectors", 1234)
+    out = render_snapshot(obs.snapshot())
+    assert "=== phase times ===" in out
+    assert "rank" in out
+    assert "vectors" in out and "1,234" in out
+
+
+def test_report_from_file_roundtrip_and_errors(tmp_path):
+    import json
+
+    path = tmp_path / "run.jsonl"
+    with open(path, "w") as fh:
+        for ev in _complete_events():
+            fh.write(json.dumps(ev) + "\n")
+    assert "status: complete" in report_from_file(path)
+    (tmp_path / "empty.jsonl").write_text("")
+    with pytest.raises(JournalError, match="empty journal"):
+        report_from_file(tmp_path / "empty.jsonl")
+    with pytest.raises(FileNotFoundError):
+        report_from_file(tmp_path / "missing.jsonl")
+
+
+def test_fmt_s_scales_units():
+    assert _fmt_s(2.5) == "2.50s"
+    assert _fmt_s(0.0153) == "15.3ms"
+    assert _fmt_s(0.0000042) == "4us"

@@ -170,3 +170,47 @@ def test_work_array_restored_between_faults(adder4):
     again = batch.evaluate([faults[0]], detailed=True)[0]
     assert first.detected_count == again.detected_count
     assert first.deviations == again.deviations
+
+
+def test_default_chunking_drops_hot_fault_and_counts_it():
+    """Early dropping fires with the *production* chunking, not just
+    chunk_words=1: a constructed hot fault (high ER, heavy output
+    weight) is abandoned at the first chunk boundary of a multi-chunk
+    batch, and the instrumentation counters record the skipped work."""
+    from repro.circuit import CircuitBuilder
+    from repro.obs import Instrumentation
+
+    b = CircuitBuilder("droptest")
+    ins = [b.input(f"i{k}") for k in range(8)]
+    hot = b.OR(ins[0], ins[1], name="hot")
+    cold = b.AND(*ins, name="cold")
+    b.output(hot, weight=4)
+    b.output(cold, weight=1)
+    circuit = b.build()
+
+    obs = Instrumentation()
+    rng = np.random.default_rng(3)
+    vectors = random_vectors(8, 1024, rng)  # 16 words -> two 8-word chunks
+    batch = BatchFaultSimulator(circuit, obs=obs)
+    batch.load_batch(vectors)
+    w = batch._w
+    assert w == 16
+
+    hot_fault = StuckAtFault.stem("hot", 1)  # ER ~ 0.25, deviation 4
+    cold_fault = StuckAtFault.stem("cold", 0)  # ER ~ 1/256, deviation 1
+    hot_st, cold_st = batch.evaluate(
+        [hot_fault, cold_fault], rs_drop_threshold=0.05
+    )
+
+    assert hot_st.dropped
+    assert hot_st.words_simulated == 8  # stopped at the chunk boundary
+    assert hot_st.rs > 0.05  # the partial lower bound already disqualifies
+    assert not cold_st.dropped
+    assert cold_st.words_simulated == w
+    assert cold_st.rs <= 0.05
+
+    assert obs.counters["batchsim.faults_dropped"] == 1
+    assert obs.counters["batchsim.words_skipped"] == w - 8
+    assert obs.counters["batchsim.words_simulated"] == 8 + w
+    assert obs.counters["batchsim.faults_evaluated"] == 2
+    assert "batchsim.evaluate" in obs.timers
