@@ -8,13 +8,7 @@ prints the audit trail.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CircuitBuilder,
-    GreedyConfig,
-    format_report,
-    simplify_for_error_tolerance,
-    verify_simplification,
-)
+from repro import CircuitBuilder, SimplifyRequest
 from repro.benchlib import ripple_carry_adder
 
 
@@ -33,19 +27,16 @@ def main() -> None:
     print(f"original: {circuit.name}, area {circuit.area()}, "
           f"{circuit.num_gates} gates\n")
 
-    result = simplify_for_error_tolerance(
-        circuit,
-        rs_pct_threshold=5.0,
-        config=GreedyConfig(num_vectors=5000, seed=1),
-    )
+    request = SimplifyRequest(rs_pct_threshold=5.0, num_vectors=5000, seed=1)
+    outcome = request.run(circuit)
 
-    print(format_report(result))
+    print(outcome.report())
     print()
-    ok = verify_simplification(result)
+    ok = outcome.verify()
     print(f"independent re-verification (fresh vectors): "
           f"{'PASS' if ok else 'FAIL'}")
-    print(f"\nsummary: {result.area_reduction_pct:.1f}% area removed with "
-          f"{len(result.faults)} injected stuck-at faults; every remaining "
+    print(f"\nsummary: {outcome.area_reduction_pct:.1f}% area removed with "
+          f"{len(outcome.faults)} injected stuck-at faults; every remaining "
           f"error stays within the 5% RS budget.")
 
 

@@ -31,7 +31,14 @@ from .simplify import (
     simplify_with_fault,
     simplify_with_faults,
 )
-from .core import format_report, simplify_for_error_tolerance, verify_simplification
+from .core import (
+    SimplifyOutcome,
+    SimplifyRequest,
+    format_report,
+    simplify_for_error_tolerance,
+    verify_simplification,
+)
+from .parallel import CheckpointError, ScoringPool, resolve_workers, resume_from
 
 __version__ = "1.0.0"
 
@@ -61,9 +68,15 @@ __all__ = [
     "remove_redundancies",
     "simplify_with_fault",
     "simplify_with_faults",
+    "SimplifyRequest",
+    "SimplifyOutcome",
     "simplify_for_error_tolerance",
     "verify_simplification",
     "format_report",
+    "ScoringPool",
+    "resolve_workers",
+    "resume_from",
+    "CheckpointError",
     "Instrumentation",
     "RunJournal",
     "load_journal",

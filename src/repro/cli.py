@@ -35,7 +35,6 @@ from pathlib import Path
 from typing import List, Optional
 
 from .circuit import dump_bench, dump_verilog, load_bench, load_verilog
-from .core import format_report
 from .faults import datapath_faults, enumerate_faults
 from .metrics import rs_max
 from .obs import Instrumentation, JournalError, render_snapshot, report_from_file
@@ -91,7 +90,10 @@ def _add_greedy_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--vectors", type=int, default=10_000,
                    help="simulation vectors for ER estimation (default 10000)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--fom", choices=["area_per_rs", "area"], default="area_per_rs")
+    p.add_argument("--fom", choices=["area_per_rs", "area", "best"],
+                   default="area_per_rs",
+                   help="figure of merit; 'best' runs both and keeps the "
+                        "better result (the paper's methodology)")
     p.add_argument("--candidate-limit", type=int, default=200)
     p.add_argument("--no-prepass", action="store_true",
                    help="skip the redundancy-removal prepass")
@@ -100,6 +102,10 @@ def _add_greedy_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--weights", choices=["unit", "binary"], default="binary",
                    help="output weights when the netlist has none "
                         "(binary: bit i of the output list weighs 2**i)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="processes for candidate scoring (0: one per CPU; "
+                        "default: the REPRO_WORKERS env var, else serial); "
+                        "parallel runs pick the same faults as serial runs")
 
 
 def _add_obs_options(p: argparse.ArgumentParser) -> None:
@@ -162,28 +168,31 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_simplify(args: argparse.Namespace) -> int:
+    from .core import SimplifyRequest
+    from .parallel import CheckpointError
+
     if (args.rs is None) == (args.rs_pct is None):
         logger.error("give exactly one of --rs / --rs-pct")
         return 2
-    circuit = _load_weighted(args.netlist, args.weights)
+    # The request owns output weighting; load the netlist untouched.
+    circuit = _load_weighted(args.netlist, "unit")
     obs = _instrumentation(args)
-    t0 = time.time()
-    result = circuit_simplify(
-        circuit,
-        rs_threshold=args.rs,
-        rs_pct_threshold=args.rs_pct,
-        config=_config(args),
-        journal=args.journal,
-        obs=obs,
-    )
-    logger.info(format_report(result))
-    logger.info(f"\nelapsed: {time.time() - t0:.1f}s")
+    request = SimplifyRequest.from_cli_args(args)
+    try:
+        outcome = request.run(circuit, obs=obs)
+    except CheckpointError as exc:
+        logger.error(str(exc))
+        return 2
+    logger.info(outcome.report())
+    logger.info(f"\nelapsed: {outcome.elapsed_s:.1f}s")
     if args.journal:
         logger.info(f"run journal written to {args.journal}")
+    if args.checkpoint:
+        logger.info(f"checkpoint written to {args.checkpoint}")
     if args.profile and obs is not None:
         logger.info("\n" + render_snapshot(obs.snapshot()))
     if args.output:
-        _dump(result.simplified, args.output)
+        outcome.save(args.output)
         logger.info(f"approximate netlist written to {args.output}")
     return 0
 
@@ -230,7 +239,8 @@ def cmd_table2(args: argparse.Namespace) -> int:
         if journal and len(sweep) > 1:
             journal = f"{journal}.{pct:g}"
         res = circuit_simplify(
-            circuit, rs_pct_threshold=pct, config=config, journal=journal, obs=obs
+            circuit, rs_pct_threshold=pct, config=config, journal=journal,
+            obs=obs, workers=args.workers,
         )
         idx = (
             profile.rs_pct_sweep.index(pct)
@@ -333,6 +343,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("simplify", help="RS-budgeted simplification")
     p.add_argument("netlist")
     p.add_argument("-o", "--output", default=None, help="write .bench here")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal every committed step here; rerunning with "
+                        "the same path resumes a killed run bit-identically")
     _add_greedy_options(p)
     _add_obs_options(p)
     p.set_defaults(func=cmd_simplify)

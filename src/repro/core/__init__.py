@@ -1,5 +1,19 @@
 """The paper's primary contribution, packaged as a one-call API."""
 
-from .api import format_report, simplify_for_error_tolerance, verify_simplification
+from .api import (
+    SimplifyOutcome,
+    SimplifyRequest,
+    format_report,
+    simplify,
+    simplify_for_error_tolerance,
+    verify_simplification,
+)
 
-__all__ = ["simplify_for_error_tolerance", "verify_simplification", "format_report"]
+__all__ = [
+    "SimplifyRequest",
+    "SimplifyOutcome",
+    "simplify",
+    "simplify_for_error_tolerance",
+    "verify_simplification",
+    "format_report",
+]

@@ -1,24 +1,394 @@
 """Top-level orchestration API.
 
-``simplify_for_error_tolerance`` is the one-call entry point a
-downstream user wants: give it a circuit and an error-tolerance budget,
-get back the simplified circuit with a full audit trail (selected
-faults, per-iteration metrics, final ER/ES/RS), plus helpers to verify
-the result against the original and to render a human-readable report.
+The one-call entry point is a :class:`SimplifyRequest` -- a frozen,
+JSON-serializable description of *everything* a simplification run
+needs (budget, estimator knobs, FOM policy, parallelism, durability) --
+whose :meth:`~SimplifyRequest.run` method returns a
+:class:`SimplifyOutcome` wrapping the winning
+:class:`~repro.simplify.greedy.GreedyResult` with report / verify /
+save helpers::
+
+    outcome = SimplifyRequest(rs_pct_threshold=1.0).run(circuit)
+    print(outcome.report())
+    outcome.save("approx.bench")
+
+``fom="best"`` (the default) reproduces the paper's experimental
+methodology: both figures of merit are tried and the better result is
+kept ("we use FOM as (area reduction/RS) or (area reduction) and
+report better result").  When the first FOM run exhausts the RS budget
+exactly, the second run is skipped (counter
+``api.fom_runs_skipped``): no further commit could be accepted, so
+re-running cannot find a larger reduction.
+
+The pre-1.0 keyword API (``simplify_for_error_tolerance``) still works
+but emits a :class:`DeprecationWarning`; see README.md for the
+migration table.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+import json
+import logging
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
 
-import numpy as np
-
-from ..circuit import Circuit
+from ..circuit import Circuit, dump_bench
 from ..metrics.errors import rs_max
 from ..metrics.estimate import MetricsEstimator
+from ..obs.core import get_active
 from ..simplify.greedy import GreedyConfig, GreedyResult, circuit_simplify
 
-__all__ = ["simplify_for_error_tolerance", "verify_simplification", "format_report"]
+__all__ = [
+    "SimplifyRequest",
+    "SimplifyOutcome",
+    "simplify",
+    "simplify_for_error_tolerance",
+    "verify_simplification",
+    "format_report",
+]
+
+logger = logging.getLogger("repro.core")
+
+_FOMS = ("best", "area", "area_per_rs")
+_ES_MODES = ("hybrid", "atpg", "simulated")
+_WEIGHTS = ("netlist", "unit", "binary")
+
+# GreedyConfig fields that SimplifyRequest mirrors one-to-one.
+_GREEDY_FIELDS = (
+    "num_vectors",
+    "seed",
+    "es_mode",
+    "candidate_limit",
+    "use_batch_ranking",
+    "datapath_only",
+    "include_branches",
+    "max_iterations",
+    "atpg_node_limit",
+    "exhaustive",
+    "pow2_es",
+    "redundancy_prepass",
+    "prepass_backtrack_limit",
+)
+
+
+@dataclass(frozen=True)
+class SimplifyRequest:
+    """A complete, immutable description of one simplification run.
+
+    Exactly one of ``rs_threshold`` (absolute) or ``rs_pct_threshold``
+    (percent of the circuit's RS_max, as in Table II) must be set.
+
+    ``fom="best"`` runs both paper FOMs and keeps the better result;
+    ``"area"`` / ``"area_per_rs"`` pin a single FOM.  The estimator
+    knobs mirror :class:`~repro.simplify.greedy.GreedyConfig`
+    one-to-one.  ``weights`` controls output weighting applied to a
+    *copy* of the circuit before the run: ``"netlist"`` uses the
+    circuit as given, ``"unit"`` forces every data output to weight 1,
+    ``"binary"`` weighs output bit *i* as ``2**i``.
+
+    ``workers`` shards phase-2 candidate scoring across processes
+    (``None`` consults ``REPRO_WORKERS``; see
+    :func:`repro.parallel.resolve_workers`); ``checkpoint`` journals
+    every committed step so a killed run resumes bit-identically
+    (:mod:`repro.parallel.checkpoint`); ``journal`` streams the same
+    events to a separate observability file.
+
+    The request serializes to JSON (:meth:`to_json` /
+    :meth:`from_json`) so a run's full configuration can be stored
+    next to its outputs and replayed later.
+    """
+
+    rs_threshold: Optional[float] = None
+    rs_pct_threshold: Optional[float] = None
+    fom: str = "best"
+    num_vectors: int = 10_000
+    seed: int = 0
+    es_mode: str = "hybrid"
+    candidate_limit: Optional[int] = 200
+    use_batch_ranking: bool = True
+    datapath_only: bool = True
+    include_branches: bool = True
+    max_iterations: int = 10_000
+    atpg_node_limit: int = 4_000
+    exhaustive: bool = False
+    pow2_es: bool = False
+    redundancy_prepass: bool = False
+    prepass_backtrack_limit: int = 500
+    weights: str = "netlist"
+    workers: Optional[int] = None
+    checkpoint: Optional[str] = None
+    journal: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.rs_threshold is None) == (self.rs_pct_threshold is None):
+            raise ValueError(
+                "give exactly one of rs_threshold / rs_pct_threshold"
+            )
+        if self.fom not in _FOMS:
+            raise ValueError(f"fom must be one of {_FOMS}, got {self.fom!r}")
+        if self.es_mode not in _ES_MODES:
+            raise ValueError(
+                f"es_mode must be one of {_ES_MODES}, got {self.es_mode!r}"
+            )
+        if self.weights not in _WEIGHTS:
+            raise ValueError(
+                f"weights must be one of {_WEIGHTS}, got {self.weights!r}"
+            )
+        if self.num_vectors <= 0:
+            raise ValueError("num_vectors must be positive")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls, config: GreedyConfig, **overrides: Any
+    ) -> "SimplifyRequest":
+        """Lift a legacy :class:`GreedyConfig` into a request.
+
+        The config's ``fom`` is kept verbatim (a single-FOM request);
+        pass ``fom="best"`` in ``overrides`` for the both-FOMs policy.
+        """
+        fields: Dict[str, Any] = {k: getattr(config, k) for k in _GREEDY_FIELDS}
+        fields["fom"] = config.fom
+        fields.update(overrides)
+        return cls(**fields)
+
+    @classmethod
+    def from_cli_args(cls, args: Any) -> "SimplifyRequest":
+        """Build a request from the ``repro simplify`` argparse namespace."""
+        return cls(
+            rs_threshold=getattr(args, "rs", None),
+            rs_pct_threshold=getattr(args, "rs_pct", None),
+            fom=getattr(args, "fom", "best"),
+            num_vectors=getattr(args, "vectors", 10_000),
+            seed=getattr(args, "seed", 0),
+            candidate_limit=getattr(args, "candidate_limit", 200),
+            redundancy_prepass=not getattr(args, "no_prepass", False),
+            pow2_es=getattr(args, "pow2_es", False),
+            weights=getattr(args, "weights", "netlist"),
+            workers=getattr(args, "workers", None),
+            checkpoint=getattr(args, "checkpoint", None),
+            journal=getattr(args, "journal", None),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimplifyRequest":
+        """Inverse of :meth:`to_json`; unknown keys are rejected."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("request JSON must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown request field(s): {', '.join(unknown)}")
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "SimplifyRequest":
+        """A copy of this request with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def greedy_config(self, fom: Optional[str] = None) -> GreedyConfig:
+        """The :class:`GreedyConfig` for one constituent greedy run.
+
+        ``fom="best"`` is a run *policy*, not a greedy FOM; resolving
+        it here picks ``"area_per_rs"`` (callers that run both FOMs
+        pass each one explicitly).
+        """
+        resolved = fom if fom is not None else self.fom
+        if resolved == "best":
+            resolved = "area_per_rs"
+        return GreedyConfig(
+            fom=resolved, **{k: getattr(self, k) for k in _GREEDY_FIELDS}
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        data = dataclasses.asdict(self)
+        for key in ("checkpoint", "journal"):
+            if data[key] is not None:
+                data[key] = os.fspath(data[key])
+        return json.dumps(data, indent=indent)
+
+    def weighted_circuit(self, circuit: Circuit) -> Circuit:
+        """The circuit this request actually optimizes.
+
+        ``weights="netlist"`` returns the caller's circuit untouched;
+        the other policies re-weight a *copy* (the caller's object is
+        never mutated).
+        """
+        if self.weights == "netlist":
+            return circuit
+        weighted = circuit.copy()
+        for i, o in enumerate(weighted.outputs):
+            weighted.output_weights[o] = (1 << i) if self.weights == "binary" else 1
+        return weighted
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit, obs=None) -> "SimplifyOutcome":
+        """Execute this request against ``circuit``."""
+        return simplify(circuit, self, obs=obs)
+
+
+@dataclass
+class SimplifyOutcome:
+    """The result of running a :class:`SimplifyRequest`.
+
+    Wraps the winning :class:`GreedyResult` (``result``) together with
+    the request that produced it, every constituent single-FOM run
+    (``runs``, one entry per FOM actually executed) and the wall time.
+    Delegation properties expose the common fields directly.
+    """
+
+    result: GreedyResult
+    request: SimplifyRequest
+    elapsed_s: float
+    runs: Tuple[Tuple[str, GreedyResult], ...] = ()
+
+    # -- delegation -----------------------------------------------------
+    @property
+    def original(self) -> Circuit:
+        return self.result.original
+
+    @property
+    def simplified(self) -> Circuit:
+        return self.result.simplified
+
+    @property
+    def faults(self):
+        return self.result.faults
+
+    @property
+    def iterations(self):
+        return self.result.iterations
+
+    @property
+    def final_metrics(self):
+        return self.result.final_metrics
+
+    @property
+    def area_reduction(self) -> int:
+        return self.result.area_reduction
+
+    @property
+    def area_reduction_pct(self) -> float:
+        return self.result.area_reduction_pct
+
+    @property
+    def winning_fom(self) -> str:
+        """The FOM of the constituent run that won."""
+        for fom, res in self.runs:
+            if res is self.result:
+                return fom
+        return self.result.config.fom
+
+    # -- helpers --------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable summary (see :func:`format_report`)."""
+        return format_report(self.result)
+
+    def verify(
+        self,
+        num_vectors: int = 20_000,
+        seed: int = 12345,
+        exhaustive: bool = False,
+    ) -> bool:
+        """Independent re-measurement with a fresh vector batch."""
+        return verify_simplification(
+            self.result,
+            num_vectors=num_vectors,
+            seed=seed,
+            exhaustive=exhaustive,
+        )
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the simplified netlist (format from the extension)."""
+        path = os.fspath(path)
+        if path.endswith((".v", ".sv")):
+            from ..circuit import dump_verilog
+
+            dump_verilog(self.result.simplified, path)
+        else:
+            dump_bench(self.result.simplified, path)
+
+
+def simplify(
+    circuit: Circuit, request: SimplifyRequest, obs=None
+) -> SimplifyOutcome:
+    """Run a :class:`SimplifyRequest`: the module-level spelling of
+    :meth:`SimplifyRequest.run`."""
+    obs = obs if obs is not None else get_active()
+    target = request.weighted_circuit(circuit)
+    threshold = (
+        float(request.rs_threshold)
+        if request.rs_threshold is not None
+        else float(request.rs_pct_threshold) * rs_max(target) / 100.0
+    )
+    foms = ("area_per_rs", "area") if request.fom == "best" else (request.fom,)
+
+    t0 = time.perf_counter()
+    runs = []
+    for fom in foms:
+        cfg = request.greedy_config(fom)
+        result = circuit_simplify(
+            target,
+            rs_threshold=threshold,
+            config=cfg,
+            journal=_per_fom_path(request.journal, fom, foms),
+            obs=obs,
+            workers=request.workers,
+            checkpoint=_per_fom_path(request.checkpoint, fom, foms),
+        )
+        runs.append((fom, result))
+        if len(foms) > 1 and fom != foms[-1] and _budget_exhausted(result, threshold):
+            # The run consumed the whole RS budget: no commit the other
+            # FOM could propose would be accepted, and re-ranking the
+            # same candidates cannot free budget, so the second run is
+            # provably redundant.
+            obs.incr("api.fom_runs_skipped")
+            logger.debug(
+                "fom=%s exhausted the RS budget (rs=%s of %s); skipping %s",
+                fom,
+                result.final_metrics.rs if result.final_metrics else None,
+                threshold,
+                foms[-1],
+            )
+            break
+    best = max((res for _fom, res in runs), key=lambda r: r.area_reduction)
+    return SimplifyOutcome(
+        result=best,
+        request=request,
+        elapsed_s=time.perf_counter() - t0,
+        runs=tuple(runs),
+    )
+
+
+def _per_fom_path(
+    path: Optional[Union[str, os.PathLike]], fom: str, foms: Tuple[str, ...]
+) -> Optional[str]:
+    """One journal/checkpoint file per constituent run: suffix the FOM
+    when the policy runs more than one."""
+    if path is None:
+        return None
+    path = os.fspath(path)
+    return path if len(foms) == 1 else f"{path}.{fom}"
+
+
+def _budget_exhausted(result: GreedyResult, threshold: float) -> bool:
+    """True when the run's final RS equals the threshold (to within
+    float noise): zero remaining budget."""
+    if result.final_metrics is None:
+        return False
+    remaining = threshold - result.final_metrics.rs
+    return remaining <= 1e-12 * max(1.0, abs(threshold))
 
 
 def simplify_for_error_tolerance(
@@ -27,31 +397,27 @@ def simplify_for_error_tolerance(
     rs_pct_threshold: Optional[float] = None,
     config: Optional[GreedyConfig] = None,
 ) -> GreedyResult:
-    """Derive a minimum-area approximate version of ``circuit``.
+    """Deprecated pre-1.0 entry point; use :class:`SimplifyRequest`.
 
-    Implements the paper's objective: *simplify a given original
-    circuit to derive a simplified circuit with minimum area that
-    produces errors within the given RS threshold.*  Provide the budget
-    either as an absolute RS value or as a percentage of the circuit's
-    maximum RS (``rs_pct_threshold``, as in Table II).
-
-    Both paper FOMs are tried and the better result is returned, as in
-    the paper's experimental methodology ("we use FOM as (area
-    reduction/RS) or (area reduction) and report better result").
+    Equivalent to ``SimplifyRequest.from_config(config, fom="best",
+    ...).run(circuit).result``: both paper FOMs are tried and the
+    better result is returned.  Scheduled for removal two minor
+    releases after 1.1 (see README.md migration notes).
     """
+    warnings.warn(
+        "simplify_for_error_tolerance() is deprecated; build a "
+        "SimplifyRequest and call .run(circuit) (or repro.core.api.simplify)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     cfg = config or GreedyConfig()
-    results = []
-    for fom in ("area_per_rs", "area"):
-        run_cfg = GreedyConfig(**{**cfg.__dict__, "fom": fom})
-        results.append(
-            circuit_simplify(
-                circuit,
-                rs_threshold=rs_threshold,
-                rs_pct_threshold=rs_pct_threshold,
-                config=run_cfg,
-            )
-        )
-    return max(results, key=lambda r: r.area_reduction)
+    request = SimplifyRequest.from_config(
+        cfg,
+        fom="best",
+        rs_threshold=rs_threshold,
+        rs_pct_threshold=rs_pct_threshold,
+    )
+    return request.run(circuit).result
 
 
 def verify_simplification(

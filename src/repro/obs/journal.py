@@ -26,6 +26,15 @@ opened in ``w`` mode: a journal path names one run.
 the reader yields parsed events in order and (non-strict mode) ignores
 a torn final line, while validation pins the per-type required keys so
 the `repro report` renderer and the tests share one schema source.
+
+Version 2 extends the schema for checkpoint/resume
+(:mod:`repro.parallel.checkpoint`): ``iteration`` events carry a
+structured ``fault_detail`` object (signal/gate/pin/value) so committed
+faults can be replayed through the Overlay engine, ``rejection`` events
+record commit-phase rejections (rebuilding the greedy loop's banned set
+on resume), and a ``resume`` event marks each continuation of an
+interrupted run.  A journal written in append mode (``append=True``)
+continues an existing file instead of naming a fresh run.
 """
 
 from __future__ import annotations
@@ -42,13 +51,14 @@ __all__ = [
     "validate_event",
     "read_journal",
     "load_journal",
+    "truncate_torn_tail",
 ]
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
 
 #: Required keys per event type.  ``iteration`` deliberately does not
-#: require ``phase_times``/``counters`` -- they are best-effort detail,
-#: while the listed keys are the analysis contract.
+#: require ``phase_times``/``counters``/``fault_detail`` -- they are
+#: best-effort detail, while the listed keys are the analysis contract.
 REQUIRED_KEYS: Dict[str, tuple] = {
     "run_start": (
         "event",
@@ -79,6 +89,19 @@ REQUIRED_KEYS: Dict[str, tuple] = {
         "delta_rs",
         "fom",
         "candidates_evaluated",
+    ),
+    "rejection": (
+        "event",
+        "index",
+        "fault",
+        "reason",
+    ),
+    "resume": (
+        "event",
+        "version",
+        "replayed_iterations",
+        "area",
+        "rs",
     ),
     "summary": (
         "event",
@@ -117,13 +140,21 @@ class RunJournal:
 
     ``fsync=True`` additionally forces every event to stable storage
     (for crash-hardened runs; the default only guarantees the prefix
-    property against process death, not power loss).
+    property against process death, not power loss).  ``append=True``
+    continues an existing journal (the checkpoint-resume path) instead
+    of starting a fresh run file.
     """
 
-    def __init__(self, path: Union[str, os.PathLike], fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        fsync: bool = False,
+        append: bool = False,
+    ) -> None:
         self.path = os.fspath(path)
         self._fsync = fsync
-        self._fh: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+        mode = "a" if append else "w"
+        self._fh: Optional[IO[str]] = open(self.path, mode, encoding="utf-8")
         self.events_written = 0
 
     # ------------------------------------------------------------------
@@ -208,3 +239,23 @@ def load_journal(
 ) -> List[Dict]:
     """Eager list form of :func:`read_journal`."""
     return list(read_journal(path, strict=strict, validate=validate))
+
+
+def truncate_torn_tail(path: Union[str, os.PathLike]) -> bool:
+    """Cut a torn (newline-less) final line off a journal file.
+
+    A run killed *during* its one write per event can leave exactly one
+    partial final line; appending new events after it would weld two
+    events into mid-file garbage.  Truncating to the last complete line
+    restores the readable-prefix invariant before a resume appends.
+    Returns True when bytes were removed.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if not raw or raw.endswith(b"\n"):
+        return False
+    keep = raw.rfind(b"\n") + 1  # 0 when no complete line exists
+    with open(path, "rb+") as fh:
+        fh.truncate(keep)
+    return True

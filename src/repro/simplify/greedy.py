@@ -37,7 +37,7 @@ from ..faults.model import StuckAtFault, datapath_faults, enumerate_faults
 from ..metrics.errors import ErrorMetrics, rs_max
 from ..metrics.estimate import MetricsEstimator
 from ..obs.core import Instrumentation, get_active
-from ..obs.journal import JOURNAL_VERSION, RunJournal
+from ..obs.journal import JOURNAL_VERSION, RunJournal, truncate_torn_tail
 from .engine import Overlay, preview_area_reduction
 
 __all__ = ["GreedyConfig", "IterationRecord", "GreedyResult", "circuit_simplify"]
@@ -180,6 +180,19 @@ class GreedyResult:
         return 100.0 * best / base if base else 0.0
 
 
+class _JournalTee:
+    """Fan one event stream out to several journals (run + checkpoint)."""
+
+    __slots__ = ("journals",)
+
+    def __init__(self, journals: List[RunJournal]) -> None:
+        self.journals = journals
+
+    def emit(self, event: Dict) -> None:
+        for j in self.journals:
+            j.emit(event)
+
+
 def circuit_simplify(
     circuit: Circuit,
     rs_threshold: Optional[float] = None,
@@ -187,6 +200,8 @@ def circuit_simplify(
     config: Optional[GreedyConfig] = None,
     journal: Optional[Union[str, os.PathLike, RunJournal]] = None,
     obs: Optional[Instrumentation] = None,
+    workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, os.PathLike]] = None,
 ) -> GreedyResult:
     """Greedy maximal area reduction within an RS budget (paper Fig. 6).
 
@@ -199,7 +214,23 @@ def circuit_simplify(
     ``obs`` overrides the active instrumentation registry; when a
     journal is requested and instrumentation is off, a private registry
     is switched on so the journal always carries real phase timings.
+
+    ``workers`` shards phase-2 candidate scoring across a process pool
+    (:class:`~repro.parallel.pool.ScoringPool`); ``None`` consults the
+    ``REPRO_WORKERS`` environment variable, ``0`` means one per CPU.
+    Parallel runs select the same fault sequence as serial runs.
+
+    ``checkpoint`` names a journal file that doubles as a durable run
+    checkpoint: if the file already holds a run prefix (e.g. from a
+    killed process), the committed faults are replayed through the
+    Overlay engine and the run *continues* from where it stopped,
+    appending to the same file; otherwise a fresh checkpoint is
+    started.  A checkpoint whose run already completed reconstructs the
+    finished result without re-running.  See
+    :mod:`repro.parallel.checkpoint`.
     """
+    from ..parallel.pool import resolve_workers
+
     cfg = config or GreedyConfig()
     if (rs_threshold is None) == (rs_pct_threshold is None):
         raise ValueError("give exactly one of rs_threshold / rs_pct_threshold")
@@ -209,14 +240,68 @@ def circuit_simplify(
         if rs_threshold is not None
         else float(rs_pct_threshold) * maximum / 100.0
     )
+    num_workers = resolve_workers(workers)
+
+    # ------------------------------------------------------------------
+    # checkpoint: load an existing prefix and replay it
+    # ------------------------------------------------------------------
+    replay = None
+    state = None
+    checkpoint_path: Optional[str] = None
+    if checkpoint is not None:
+        from ..parallel.checkpoint import (
+            greedy_config_from,
+            maybe_load_checkpoint,
+            replay_checkpoint,
+        )
+
+        checkpoint_path = os.fspath(checkpoint)
+        state = maybe_load_checkpoint(checkpoint_path)
+        if state is not None:
+            if config is None:
+                cfg = greedy_config_from(state.config)
+            else:
+                _check_config_matches(cfg, state)
+            state.validate_threshold(threshold)
+            threshold = state.rs_threshold  # bit-exact continuation
+            replay = replay_checkpoint(circuit, state, maximum)
+
     if cfg.fom not in ("area", "area_per_rs"):
         raise ValueError(f"unknown FOM {cfg.fom!r}")
 
     obs = obs if obs is not None else get_active()
-    own_journal = journal is not None and not isinstance(journal, RunJournal)
-    if own_journal:
-        journal = RunJournal(journal)
-    if journal is not None and not obs.enabled:
+
+    if state is not None and state.complete:
+        # The journaled run already finished: reconstruct its result.
+        obs.incr("checkpoint.already_complete")
+        return _rebuild_complete_result(circuit, cfg, state, replay, maximum)
+
+    # ------------------------------------------------------------------
+    # journal sinks: optional user journal + optional checkpoint journal
+    # ------------------------------------------------------------------
+    sinks: List[RunJournal] = []
+    own_journals: List[RunJournal] = []
+    if journal is not None:
+        same_file = (
+            not isinstance(journal, RunJournal)
+            and checkpoint_path is not None
+            and os.path.abspath(os.fspath(journal)) == os.path.abspath(checkpoint_path)
+        )
+        if not same_file:
+            if isinstance(journal, RunJournal):
+                sinks.append(journal)
+            else:
+                j = RunJournal(journal)
+                sinks.append(j)
+                own_journals.append(j)
+    if checkpoint_path is not None:
+        if replay is not None:
+            truncate_torn_tail(checkpoint_path)
+        cj = RunJournal(checkpoint_path, append=replay is not None)
+        sinks.append(cj)
+        own_journals.append(cj)
+    tee: Optional[_JournalTee] = _JournalTee(sinks) if sinks else None
+    if tee is not None and not obs.enabled:
         obs = Instrumentation()
 
     estimator = MetricsEstimator(
@@ -233,28 +318,84 @@ def circuit_simplify(
         rs_threshold=threshold,
         config=cfg,
     )
+
+    prev = _MetricsCursor()
+    start_iteration = 0
+    current_rs = 0.0
+    reference: Optional[Circuit] = None
+    banned: Set[Tuple] = set()
+    skip_prepass = False
+    if replay is not None:
+        result.simplified = replay.current
+        result.iterations = list(replay.iterations)
+        result.faults = list(replay.faults)
+        result.final_metrics = replay.final_metrics
+        start_iteration = replay.start_iteration
+        current_rs = replay.current_rs
+        reference = replay.reference
+        banned = set(replay.banned)
+        skip_prepass = True
+        prev.er, prev.es, prev.rs = replay.prev_metrics
+        obs.incr("checkpoint.resumes")
+        obs.incr("checkpoint.replayed_iterations", len(replay.iterations))
+
+    pool = None
+    if num_workers > 1 and cfg.use_batch_ranking:
+        from ..parallel.pool import ScoringPool
+
+        pool = ScoringPool(estimator, num_workers, obs=obs)
+
     t_run = time.perf_counter()
-    if journal is not None:
-        journal.emit(
-            {
-                "event": "run_start",
-                "version": JOURNAL_VERSION,
-                "circuit": circuit.name,
-                "num_inputs": len(circuit.inputs),
-                "num_outputs": len(circuit.outputs),
-                "area": circuit.area(),
-                "rs_threshold": threshold,
-                "rs_max": float(maximum),
-                "seed": cfg.seed,
-                "num_vectors": estimator.num_vectors,
-                "config": asdict(cfg),
-            }
-        )
+    if tee is not None:
+        if replay is None:
+            tee.emit(
+                {
+                    "event": "run_start",
+                    "version": JOURNAL_VERSION,
+                    "circuit": circuit.name,
+                    "num_inputs": len(circuit.inputs),
+                    "num_outputs": len(circuit.outputs),
+                    "area": circuit.area(),
+                    "rs_threshold": threshold,
+                    "rs_max": float(maximum),
+                    "seed": cfg.seed,
+                    "num_vectors": estimator.num_vectors,
+                    "workers": num_workers,
+                    "config": asdict(cfg),
+                }
+            )
+        else:
+            tee.emit(
+                {
+                    "event": "resume",
+                    "version": JOURNAL_VERSION,
+                    "circuit": circuit.name,
+                    "replayed_iterations": len(replay.iterations),
+                    "area": replay.current.area(),
+                    "rs": replay.current_rs,
+                    "workers": num_workers,
+                }
+            )
     try:
-        _run_greedy(circuit, cfg, estimator, result, threshold, obs, journal)
-        if journal is not None:
+        _run_greedy(
+            circuit,
+            cfg,
+            estimator,
+            result,
+            threshold,
+            obs,
+            tee,
+            pool=pool,
+            start_iteration=start_iteration,
+            current_rs=current_rs,
+            reference=reference,
+            banned=banned,
+            skip_prepass=skip_prepass,
+            prev=prev,
+        )
+        if tee is not None:
             snap = obs.snapshot()
-            journal.emit(
+            tee.emit(
                 {
                     "event": "summary",
                     "iterations": len(result.iterations),
@@ -272,8 +413,60 @@ def circuit_simplify(
                 }
             )
     finally:
-        if own_journal:
-            journal.close()
+        if pool is not None:
+            pool.close()
+        for j in own_journals:
+            j.close()
+    return result
+
+
+def _check_config_matches(cfg: GreedyConfig, state) -> None:
+    """Resuming with a different config would silently diverge: refuse."""
+    from ..parallel.checkpoint import CheckpointError
+
+    ours = asdict(cfg)
+    theirs = state.config
+    diffs = [
+        f"{k}: given={ours[k]!r} checkpoint={theirs[k]!r}"
+        for k in ours
+        if k in theirs and ours[k] != theirs[k]
+    ]
+    if diffs:
+        raise CheckpointError(
+            f"{state.path}: config does not match the checkpointed run "
+            f"({'; '.join(diffs)}); pass config=None to adopt the "
+            f"checkpoint's config"
+        )
+
+
+def _rebuild_complete_result(
+    circuit: Circuit,
+    cfg: GreedyConfig,
+    state,
+    replay,
+    maximum: float,
+) -> GreedyResult:
+    """Reconstruct the finished GreedyResult a complete checkpoint holds."""
+    result = GreedyResult(
+        original=circuit,
+        simplified=replay.current,
+        rs_threshold=state.rs_threshold,
+        config=cfg,
+        faults=list(replay.faults),
+        iterations=list(replay.iterations),
+        final_metrics=replay.final_metrics,
+    )
+    if result.final_metrics is None and state.summary is not None:
+        s = state.summary
+        if s.get("final_er") is not None:
+            result.final_metrics = ErrorMetrics(
+                er=float(s["final_er"]),
+                es=int(s["final_es"]),
+                observed_es=int(s["final_es"]),
+                rs_maximum=int(maximum),
+                num_vectors=state.num_vectors,
+                es_mode="hybrid" if cfg.es_mode != "simulated" else "simulated",
+            )
     return result
 
 
@@ -284,17 +477,28 @@ def _run_greedy(
     result: GreedyResult,
     threshold: float,
     obs: Instrumentation,
-    journal: Optional[RunJournal],
+    journal: Optional[_JournalTee],
+    pool=None,
+    start_iteration: int = 0,
+    current_rs: float = 0.0,
+    reference: Optional[Circuit] = None,
+    banned: Optional[Set[Tuple]] = None,
+    skip_prepass: bool = False,
+    prev: Optional[_MetricsCursor] = None,
 ) -> None:
-    """The prepass + greedy loop proper, instrumented and journaled."""
-    current = result.simplified
-    current_rs = 0.0
-    banned: Set[Tuple] = set()
-    use_atpg = cfg.es_mode != "simulated"
-    prev = _MetricsCursor()
+    """The prepass + greedy loop proper, instrumented and journaled.
 
-    reference: Optional[Circuit] = None
-    if cfg.redundancy_prepass:
+    The resume parameters (``start_iteration``, ``current_rs``,
+    ``reference``, ``banned``, ``skip_prepass``, ``prev``) let a
+    checkpoint replay drop the loop exactly where a killed run stopped;
+    fresh runs use the defaults.
+    """
+    current = result.simplified
+    banned = set() if banned is None else banned
+    use_atpg = cfg.es_mode != "simulated"
+    prev = _MetricsCursor() if prev is None else prev
+
+    if cfg.redundancy_prepass and not skip_prepass:
         with obs.span("prepass"):
             current = _apply_redundancy_prepass(current, cfg, estimator, result)
         for rec in result.iterations:
@@ -306,7 +510,7 @@ def _run_greedy(
             reference = current
 
     with obs.span("greedy"):
-        for iteration in range(cfg.max_iterations):
+        for iteration in range(start_iteration, cfg.max_iterations):
             counters_base = dict(obs.counters)
             t0 = time.perf_counter()
             with obs.span("candidates"):
@@ -319,7 +523,8 @@ def _run_greedy(
             t0 = time.perf_counter()
             with obs.span("rank"):
                 scored = _rank_candidates(
-                    current, candidates, cfg, estimator, threshold, current_rs
+                    current, candidates, cfg, estimator, threshold, current_rs,
+                    pool=pool,
                 )
             t_rank = time.perf_counter() - t0
             committed = False
@@ -334,6 +539,7 @@ def _run_greedy(
                         overlay.apply(fault)
                     except Exception:
                         banned.add(_fault_key(fault))
+                        _emit_rejection(journal, iteration, fault, "apply_failed")
                         continue
                     tentative = overlay.materialize(current.name)
                     accepted, metrics = estimator.check_rs(
@@ -346,6 +552,7 @@ def _run_greedy(
                     if not accepted:
                         obs.incr("greedy.commits_rejected")
                         banned.add(_fault_key(fault))
+                        _emit_rejection(journal, iteration, fault, "rs_exceeded")
                         continue
                     rec = IterationRecord(
                         index=iteration,
@@ -396,7 +603,7 @@ class _MetricsCursor:
 
 
 def _emit_iteration(
-    journal: Optional[RunJournal], rec: IterationRecord, prev: _MetricsCursor
+    journal: Optional[_JournalTee], rec: IterationRecord, prev: _MetricsCursor
 ) -> None:
     """Emit one iteration event; advances the delta cursor either way."""
     m = rec.metrics
@@ -407,12 +614,20 @@ def _emit_iteration(
                 "index": rec.index,
                 "phase": rec.phase,
                 "fault": str(rec.fault),
+                "fault_detail": {
+                    "signal": rec.fault.line.signal,
+                    "gate": rec.fault.line.gate,
+                    "pin": rec.fault.line.pin,
+                    "value": rec.fault.value,
+                },
                 "area_before": rec.area_before,
                 "area_after": rec.area_after,
                 "er": m.er,
                 "es": m.es,
                 "observed_es": m.observed_es,
                 "rs": m.rs,
+                "es_mode": m.es_mode,
+                "es_bound": m.es_bound,
                 "delta_er": m.er - prev.er,
                 "delta_es": m.es - prev.es,
                 "delta_rs": m.rs - prev.rs,
@@ -423,6 +638,29 @@ def _emit_iteration(
             }
         )
     prev.er, prev.es, prev.rs = m.er, m.es, m.rs
+
+
+def _emit_rejection(
+    journal: Optional[_JournalTee], iteration: int, fault: StuckAtFault, reason: str
+) -> None:
+    """Journal a commit-phase rejection (needed to resume bit-identically:
+    the banned set must survive a process death, or a resumed run could
+    re-accept a fault the original run had ruled out)."""
+    if journal is not None:
+        journal.emit(
+            {
+                "event": "rejection",
+                "index": iteration,
+                "fault": str(fault),
+                "fault_detail": {
+                    "signal": fault.line.signal,
+                    "gate": fault.line.gate,
+                    "pin": fault.line.pin,
+                    "value": fault.value,
+                },
+                "reason": reason,
+            }
+        )
 
 
 # ----------------------------------------------------------------------
@@ -594,6 +832,7 @@ def _rank_candidates(
     estimator: MetricsEstimator,
     threshold: float,
     current_rs: float,
+    pool=None,
 ) -> List[Tuple[float, StuckAtFault, float]]:
     """Score candidates; returns (fom, fault, simulated_rs) sorted best first."""
     reach = _reachable_weight(current)
@@ -624,7 +863,8 @@ def _rank_candidates(
     # anyway).
     eps = max(estimator.rs_maximum * 1e-15, 1e-12)
     if cfg.use_batch_ranking:
-        stats = estimator.simulate_faults(
+        scorer = pool if pool is not None else estimator
+        stats = scorer.simulate_faults(
             [f for _proxy, _delta, f in shortlist],
             approx=current,
             rs_drop_threshold=threshold,

@@ -4,6 +4,8 @@ import pytest
 
 from repro import (
     GreedyConfig,
+    SimplifyOutcome,
+    SimplifyRequest,
     format_report,
     simplify_for_error_tolerance,
     verify_simplification,
@@ -12,13 +14,17 @@ from tests.conftest import build_ripple_adder
 
 
 @pytest.fixture(scope="module")
-def result():
+def outcome():
     ckt = build_ripple_adder(5)
-    return simplify_for_error_tolerance(
-        ckt,
-        rs_pct_threshold=5.0,
-        config=GreedyConfig(num_vectors=1500, seed=2, candidate_limit=80),
+    request = SimplifyRequest(
+        rs_pct_threshold=5.0, num_vectors=1500, seed=2, candidate_limit=80
     )
+    return request.run(ckt)
+
+
+@pytest.fixture(scope="module")
+def result(outcome):
+    return outcome.result
 
 
 def test_reduction_achieved(result):
@@ -26,10 +32,22 @@ def test_reduction_achieved(result):
     assert result.faults
 
 
-def test_best_of_both_foms(result):
-    """The API returns max over the two FOM runs."""
+def test_outcome_delegation(outcome):
+    assert isinstance(outcome, SimplifyOutcome)
+    assert outcome.area_reduction == outcome.result.area_reduction
+    assert outcome.simplified is outcome.result.simplified
+    assert outcome.faults is outcome.result.faults
+    assert outcome.final_metrics is outcome.result.final_metrics
+    assert outcome.elapsed_s > 0
+    assert outcome.winning_fom in ("area", "area_per_rs")
+
+
+def test_best_of_both_foms(outcome):
+    """fom="best" returns max over the constituent FOM runs."""
     from repro.simplify import circuit_simplify
 
+    result = outcome.result
+    assert {f for f, _ in outcome.runs} <= {"area", "area_per_rs"}
     for fom in ("area", "area_per_rs"):
         single = circuit_simplify(
             result.original,
@@ -41,8 +59,31 @@ def test_best_of_both_foms(result):
         assert result.area_reduction >= single.area_reduction
 
 
+def test_single_fom_request(outcome):
+    """Pinning one FOM matches that constituent run exactly."""
+    per_fom = dict(outcome.runs)
+    if "area" not in per_fom:
+        pytest.skip("second FOM run was short-circuited")
+    single = outcome.request.replace(fom="area").run(outcome.original)
+    assert len(single.runs) == 1
+    assert single.result.area_reduction == per_fom["area"].area_reduction
+
+
 def test_verification(result):
     assert verify_simplification(result, exhaustive=True)
+
+
+def test_outcome_verify_and_report(outcome):
+    assert outcome.verify(exhaustive=True)
+    assert outcome.report() == format_report(outcome.result)
+
+
+def test_outcome_save(outcome, tmp_path):
+    from repro.circuit import dumps_bench
+
+    path = tmp_path / "approx.bench"
+    outcome.save(path)
+    assert path.read_text() == dumps_bench(outcome.simplified)
 
 
 def test_report_rendering(result):
@@ -55,7 +96,41 @@ def test_report_rendering(result):
     assert text.count("ER=") >= len(result.iterations)
 
 
+def test_weighted_circuit_copies():
+    ckt = build_ripple_adder(3)
+    before = dict(ckt.output_weights)
+    req = SimplifyRequest(rs_pct_threshold=5.0, weights="binary")
+    weighted = req.weighted_circuit(ckt)
+    assert ckt.output_weights == before  # caller's circuit untouched
+    assert weighted.output_weights[weighted.outputs[1]] == 2
+    assert req.replace(weights="netlist").weighted_circuit(ckt) is ckt
+
+
+def test_deprecated_shim_still_works(outcome):
+    ckt = outcome.original
+    with pytest.warns(DeprecationWarning):
+        legacy = simplify_for_error_tolerance(
+            ckt,
+            rs_pct_threshold=5.0,
+            config=GreedyConfig(num_vectors=1500, seed=2, candidate_limit=80),
+        )
+    assert legacy.area_reduction == outcome.area_reduction
+
+
 def test_argument_validation():
     ckt = build_ripple_adder(3)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            simplify_for_error_tolerance(ckt)
     with pytest.raises(ValueError):
-        simplify_for_error_tolerance(ckt)
+        SimplifyRequest()  # no threshold
+    with pytest.raises(ValueError):
+        SimplifyRequest(rs_threshold=1.0, rs_pct_threshold=1.0)
+    with pytest.raises(ValueError):
+        SimplifyRequest(rs_threshold=1.0, fom="nope")
+    with pytest.raises(ValueError):
+        SimplifyRequest(rs_threshold=1.0, es_mode="nope")
+    with pytest.raises(ValueError):
+        SimplifyRequest(rs_threshold=1.0, weights="nope")
+    with pytest.raises(ValueError):
+        SimplifyRequest(rs_threshold=1.0, num_vectors=0)

@@ -127,6 +127,63 @@ def test_simplify_journal_and_report_roundtrip(netlist, tmp_path, capsys):
     assert "greedy" in out
 
 
+def test_simplify_workers_matches_serial(netlist, tmp_path, capsys):
+    """--workers N writes the same netlist as the serial run."""
+    serial_path = tmp_path / "serial.bench"
+    par_path = tmp_path / "par.bench"
+    common = ["simplify", netlist, "--rs-pct", "5", "--vectors", "1000"]
+    assert main(common + ["-o", str(serial_path)]) == 0
+    assert main(common + ["-o", str(par_path), "--workers", "2"]) == 0
+    capsys.readouterr()
+    assert par_path.read_text() == serial_path.read_text()
+
+
+def test_simplify_checkpoint_resume_cli(netlist, tmp_path, capsys):
+    """--checkpoint journals the run; a rerun resumes/rebuilds from it."""
+    import json
+
+    ckpt = tmp_path / "run.ckpt.jsonl"
+    args = ["simplify", netlist, "--rs-pct", "5", "--vectors", "1000",
+            "--checkpoint", str(ckpt)]
+    out_a = tmp_path / "a.bench"
+    assert main(args + ["-o", str(out_a)]) == 0
+    assert "checkpoint written to" in capsys.readouterr().out
+    events = [json.loads(l) for l in ckpt.read_text().splitlines()]
+    assert events[0]["event"] == "run_start"
+    assert events[-1]["event"] == "summary"
+    assert all("fault_detail" in e for e in events if e["event"] == "iteration")
+
+    # truncate to a mid-run prefix and rerun: result identical
+    it = next(i for i, e in enumerate(events) if e["event"] == "iteration")
+    ckpt.write_text(
+        "".join(json.dumps(e) + "\n" for e in events[: it + 1])
+    )
+    out_b = tmp_path / "b.bench"
+    assert main(args + ["-o", str(out_b)]) == 0
+    capsys.readouterr()
+    assert out_b.read_text() == out_a.read_text()
+
+
+def test_simplify_rejects_bad_checkpoint(netlist, tmp_path, capsys):
+    ckpt = tmp_path / "bad.jsonl"
+    ckpt.write_text(
+        '{"event": "rejection", "index": 0, "fault": "x SA0", '
+        '"reason": "rs_exceeded"}\n'
+    )
+    rc = main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+               "--checkpoint", str(ckpt)])
+    assert rc == 2
+    assert "run_start" in capsys.readouterr().err
+
+
+def test_simplify_fom_best(netlist, tmp_path, capsys):
+    out_path = tmp_path / "best.bench"
+    rc = main(["simplify", netlist, "--rs-pct", "5", "--vectors", "800",
+               "--fom", "best", "-o", str(out_path)])
+    assert rc == 0
+    assert out_path.exists()
+
+
 def test_report_missing_file_fails_cleanly(tmp_path, capsys):
     assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
     assert "nope.jsonl" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""SimplifyRequest: construction, serialization, config derivation."""
+
+import argparse
+import json
+
+import pytest
+
+from repro import GreedyConfig, SimplifyRequest
+
+
+def test_json_round_trip():
+    req = SimplifyRequest(
+        rs_pct_threshold=2.5,
+        fom="area",
+        num_vectors=4096,
+        seed=7,
+        candidate_limit=None,
+        pow2_es=True,
+        redundancy_prepass=True,
+        weights="binary",
+        workers=4,
+        checkpoint="run.ckpt.jsonl",
+        journal="run.journal.jsonl",
+    )
+    text = req.to_json()
+    assert SimplifyRequest.from_json(text) == req
+    # the JSON is a flat object a shell script can inspect
+    data = json.loads(text)
+    assert data["rs_pct_threshold"] == 2.5
+    assert data["workers"] == 4
+    assert data["checkpoint"] == "run.ckpt.jsonl"
+
+
+def test_from_json_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown request field"):
+        SimplifyRequest.from_json('{"rs_threshold": 1.0, "turbo": true}')
+    with pytest.raises(ValueError):
+        SimplifyRequest.from_json("[1, 2]")
+
+
+def test_from_json_validates():
+    with pytest.raises(ValueError):
+        SimplifyRequest.from_json('{"fom": "best"}')  # no threshold
+
+
+def test_greedy_config_mirror():
+    req = SimplifyRequest(
+        rs_threshold=3.0,
+        fom="best",
+        num_vectors=1234,
+        seed=9,
+        es_mode="simulated",
+        candidate_limit=17,
+        use_batch_ranking=False,
+        datapath_only=False,
+        include_branches=False,
+        max_iterations=55,
+        atpg_node_limit=999,
+        exhaustive=True,
+        pow2_es=True,
+        redundancy_prepass=True,
+        prepass_backtrack_limit=77,
+    )
+    cfg = req.greedy_config("area")
+    assert cfg == GreedyConfig(
+        fom="area",
+        num_vectors=1234,
+        seed=9,
+        es_mode="simulated",
+        candidate_limit=17,
+        use_batch_ranking=False,
+        datapath_only=False,
+        include_branches=False,
+        max_iterations=55,
+        atpg_node_limit=999,
+        exhaustive=True,
+        pow2_es=True,
+        redundancy_prepass=True,
+        prepass_backtrack_limit=77,
+    )
+    # "best" is a policy, not a greedy FOM: it resolves to a real one
+    assert req.greedy_config().fom == "area_per_rs"
+
+
+def test_from_config_round_trip():
+    cfg = GreedyConfig(fom="area", num_vectors=2000, seed=5, pow2_es=True)
+    req = SimplifyRequest.from_config(cfg, rs_threshold=1.5)
+    assert req.fom == "area"
+    assert req.greedy_config() == cfg
+    # overrides win
+    assert SimplifyRequest.from_config(cfg, rs_threshold=1.5, fom="best").fom == "best"
+
+
+def test_from_cli_args():
+    ns = argparse.Namespace(
+        rs=None,
+        rs_pct=1.0,
+        fom="best",
+        vectors=2048,
+        seed=3,
+        candidate_limit=50,
+        no_prepass=True,
+        pow2_es=True,
+        weights="binary",
+        workers=2,
+        checkpoint="ck.jsonl",
+        journal=None,
+    )
+    req = SimplifyRequest.from_cli_args(ns)
+    assert req.rs_pct_threshold == 1.0
+    assert req.rs_threshold is None
+    assert req.fom == "best"
+    assert req.num_vectors == 2048
+    assert req.redundancy_prepass is False  # --no-prepass
+    assert req.workers == 2
+    assert req.checkpoint == "ck.jsonl"
+
+
+def test_replace_revalidates():
+    req = SimplifyRequest(rs_threshold=1.0)
+    assert req.replace(seed=42).seed == 42
+    with pytest.raises(ValueError):
+        req.replace(fom="bogus")
