@@ -6,20 +6,27 @@ file extension) and on the built-in benchmark suite:
 
 * ``stats``      -- netlist statistics and datapath/control profile
 * ``simplify``   -- RS-budgeted simplification of a netlist
-* ``report``     -- profiling view over a run journal (JSONL)
+* ``report``     -- profiling view over a run journal (JSONL or JSON)
+* ``compare``    -- iteration-by-iteration diff of two run journals
+* ``trends``     -- benchmark history + trailing-median regression gate
 * ``redundancy`` -- classical redundancy removal only
 * ``table2``     -- one Table II row on a built-in ISCAS85-like circuit
 * ``dct-study``  -- the Section II JPEG/DCT application study
 * ``er-tests``   -- error-rate test generation (ERTG flow)
 * ``yield``      -- effective-yield analysis on a defect population
 
-All human-readable output goes through the ``repro`` logging tree
+All human-facing output goes through the ``repro`` logging tree
 (INFO -> stdout, WARNING+ -> stderr), configured by the global
-``--verbose`` / ``--quiet`` flags; library code never prints directly.
-``simplify`` and ``table2`` accept ``--journal PATH`` to stream a
-structured JSONL run journal and ``--profile`` to dump the phase-time /
-counter breakdown after the run; ``report`` renders the same view from
-a saved journal.
+``--verbose`` / ``--quiet`` flags; library code never prints directly,
+and Python warnings are captured into the same tree so ``--quiet``
+genuinely silences everything below WARNING.  ``simplify`` and
+``table2`` accept ``--journal PATH`` to stream a structured JSONL run
+journal and ``--profile`` to dump the phase-time / counter breakdown
+after the run; ``simplify`` additionally takes ``--trace PATH`` (Chrome
+trace export, Perfetto-loadable, per-worker lanes) and
+``--progress PATH`` (atomic machine-readable heartbeat; a live TTY
+stderr line appears automatically when stderr is a terminal and
+``--quiet`` is not set); ``report`` renders the journal view later.
 
 Output netlists are written in the format implied by the output path's
 extension.
@@ -28,6 +35,7 @@ extension.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 import time
@@ -37,7 +45,21 @@ from typing import List, Optional
 from .circuit import dump_bench, dump_verilog, load_bench, load_verilog
 from .faults import datapath_faults, enumerate_faults
 from .metrics import rs_max
-from .obs import Instrumentation, JournalError, render_snapshot, report_from_file
+from .obs import (
+    Instrumentation,
+    JournalError,
+    ProgressReporter,
+    TraceRecorder,
+    append_history,
+    compare_files,
+    detect_regressions,
+    load_bench_file,
+    read_history,
+    render_compare,
+    render_snapshot,
+    report_from_file,
+    write_chrome_trace,
+)
 from .simplify import GreedyConfig, circuit_simplify, remove_redundancies
 
 __all__ = ["main"]
@@ -81,6 +103,16 @@ def _configure_logging(verbose: bool, quiet: bool) -> None:
     err.setFormatter(logging.Formatter("%(levelname)s: %(message)s"))
     root.addHandler(err)
 
+    # Python warnings (e.g. the deprecation shim) must obey the same
+    # config instead of writing to stderr behind the logging tree's
+    # back -- the ``--quiet`` contract is "WARNING+ on stderr, nothing
+    # else, all of it through logging".
+    logging.captureWarnings(True)
+    pywarn = logging.getLogger("py.warnings")
+    pywarn.handlers.clear()
+    pywarn.propagate = False
+    pywarn.addHandler(err)
+
 
 def _add_greedy_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--rs-pct", type=float, default=None,
@@ -114,6 +146,21 @@ def _add_obs_options(p: argparse.ArgumentParser) -> None:
                         "(render it later with `repro report PATH`)")
     p.add_argument("--profile", action="store_true",
                    help="print the phase-time / counter breakdown after the run")
+
+
+def _add_live_obs_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="export a Chrome trace (Perfetto/chrome://tracing "
+                        "loadable) of the run's spans here, with one lane "
+                        "per scoring worker process")
+    p.add_argument("--progress", default=None, metavar="PATH",
+                   help="write a machine-readable progress snapshot here "
+                        "(atomic replace) every few seconds; a live stderr "
+                        "line appears on a TTY regardless of this flag")
+    p.add_argument("--progress-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="minimum seconds between progress snapshots "
+                        "(default 2)")
 
 
 def _load_weighted(path: str, weights: str):
@@ -177,18 +224,41 @@ def cmd_simplify(args: argparse.Namespace) -> int:
     # The request owns output weighting; load the netlist untouched.
     circuit = _load_weighted(args.netlist, "unit")
     obs = _instrumentation(args)
+    if args.trace:
+        if obs is None:
+            obs = Instrumentation()
+        obs.tracer = TraceRecorder()
+    # The live stderr heartbeat is human-facing output: it exists only
+    # on a real terminal and never under --quiet.  The --progress JSON
+    # snapshot is machine-facing and is written either way.
+    heartbeat = sys.stderr.isatty() and not args.quiet
+    progress = None
+    if args.progress or heartbeat:
+        progress = ProgressReporter(
+            stream=sys.stderr if heartbeat else None,
+            json_path=args.progress,
+            interval_s=args.progress_interval,
+        )
     request = SimplifyRequest.from_cli_args(args)
     try:
-        outcome = request.run(circuit, obs=obs)
+        outcome = request.run(circuit, obs=obs, progress=progress)
     except CheckpointError as exc:
         logger.error(str(exc))
         return 2
+    finally:
+        if progress is not None:
+            progress.close()
     logger.info(outcome.report())
     logger.info(f"\nelapsed: {outcome.elapsed_s:.1f}s")
     if args.journal:
         logger.info(f"run journal written to {args.journal}")
     if args.checkpoint:
         logger.info(f"checkpoint written to {args.checkpoint}")
+    if args.trace:
+        spans = write_chrome_trace(args.trace, obs.tracer)
+        logger.info(f"chrome trace written to {args.trace} ({spans} spans)")
+    if args.progress:
+        logger.info(f"progress snapshot written to {args.progress}")
     if args.profile and obs is not None:
         logger.info("\n" + render_snapshot(obs.snapshot()))
     if args.output:
@@ -199,13 +269,77 @@ def cmd_simplify(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     try:
-        logger.info(report_from_file(args.journal, top_k=args.top))
+        if args.format == "json":
+            from .obs import load_journal, report_as_dict
+
+            events = load_journal(args.journal)
+            if not events:
+                raise JournalError(f"{args.journal}: empty journal")
+            logger.info(
+                json.dumps(report_as_dict(events, top_k=args.top),
+                           indent=2, sort_keys=True)
+            )
+        else:
+            logger.info(report_from_file(args.journal, top_k=args.top))
     except FileNotFoundError:
         logger.error(f"no such journal: {args.journal}")
         return 2
     except JournalError as exc:
         logger.error(str(exc))
         return 2
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        cmp = compare_files(args.journal_a, args.journal_b)
+    except FileNotFoundError as exc:
+        logger.error(f"no such journal: {exc.filename}")
+        return 2
+    except JournalError as exc:
+        logger.error(str(exc))
+        return 2
+    if args.format == "json":
+        logger.info(json.dumps(cmp, indent=2, sort_keys=True))
+    else:
+        logger.info(render_compare(cmp, top_k=args.top))
+    if args.fail_on_divergence and not cmp["identical_trajectory"]:
+        return 3
+    return 0
+
+
+def cmd_trends(args: argparse.Namespace) -> int:
+    try:
+        history = read_history(args.history)
+    except ValueError as exc:
+        logger.error(str(exc))
+        return 2
+    regressions = []
+    for path in args.bench:
+        try:
+            name, rows = load_bench_file(path)
+        except FileNotFoundError:
+            logger.warning(f"trends: no such bench snapshot: {path}")
+            continue
+        except (ValueError, json.JSONDecodeError) as exc:
+            logger.warning(f"trends: skipping {path}: {exc}")
+            continue
+        flagged = detect_regressions(
+            history, name, rows,
+            threshold=args.threshold / 100.0, window=args.window,
+        )
+        for reg in flagged:
+            logger.warning(reg.describe())
+        logger.info(
+            f"TREND {name}: {len(rows)} row(s), "
+            f"{len(flagged)} regression(s) vs trailing median "
+            f"(window {args.window}, threshold {args.threshold:g}%)"
+        )
+        if not args.no_append:
+            history.extend(append_history(args.history, name, rows))
+        regressions.extend(flagged)
+    if regressions and args.fail_on_regression:
+        return 3
     return 0
 
 
@@ -348,13 +482,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "the same path resumes a killed run bit-identically")
     _add_greedy_options(p)
     _add_obs_options(p)
+    _add_live_obs_options(p)
     p.set_defaults(func=cmd_simplify)
 
     p = sub.add_parser("report", help="profiling view over a run journal")
     p.add_argument("journal", help="journal JSONL path from --journal")
     p.add_argument("--top", type=int, default=12,
                    help="counters to show in the hotspot table (default 12)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="render as human text (default) or machine JSON")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("compare",
+                       help="diff two run journals iteration-by-iteration")
+    p.add_argument("journal_a", help="baseline run journal (A)")
+    p.add_argument("journal_b", help="candidate run journal (B)")
+    p.add_argument("--top", type=int, default=12,
+                   help="rows in the phase-time/counter delta tables")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--fail-on-divergence", action="store_true",
+                   help="exit 3 when the trajectories are not identical")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("trends",
+                       help="append BENCH_*.json rows to a history file and "
+                            "flag regressions vs the trailing median")
+    p.add_argument("bench", nargs="+", help="BENCH_<name>.json snapshot(s)")
+    p.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                   help="JSONL history file (default BENCH_history.jsonl)")
+    p.add_argument("--threshold", type=float, default=15.0, metavar="PCT",
+                   help="regression threshold in percent (default 15)")
+    p.add_argument("--window", type=int, default=5,
+                   help="trailing history entries per median (default 5)")
+    p.add_argument("--no-append", action="store_true",
+                   help="only check; do not record the new rows")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 3 when any metric regresses (CI wraps this "
+                        "in a soft-fail step)")
+    p.set_defaults(func=cmd_trends)
 
     p = sub.add_parser("redundancy", help="classical redundancy removal")
     p.add_argument("netlist")

@@ -233,9 +233,15 @@ class SimplifyRequest:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, circuit: Circuit, obs=None) -> "SimplifyOutcome":
-        """Execute this request against ``circuit``."""
-        return simplify(circuit, self, obs=obs)
+    def run(self, circuit: Circuit, obs=None, progress=None) -> "SimplifyOutcome":
+        """Execute this request against ``circuit``.
+
+        ``progress`` attaches a live heartbeat sink (usually a
+        :class:`~repro.obs.progress.ProgressReporter`); with
+        ``fom="best"`` the one reporter spans both constituent runs.
+        The caller owns (and closes) the reporter.
+        """
+        return simplify(circuit, self, obs=obs, progress=progress)
 
 
 @dataclass
@@ -321,7 +327,7 @@ class SimplifyOutcome:
 
 
 def simplify(
-    circuit: Circuit, request: SimplifyRequest, obs=None
+    circuit: Circuit, request: SimplifyRequest, obs=None, progress=None
 ) -> SimplifyOutcome:
     """Run a :class:`SimplifyRequest`: the module-level spelling of
     :meth:`SimplifyRequest.run`."""
@@ -346,6 +352,7 @@ def simplify(
             obs=obs,
             workers=request.workers,
             checkpoint=_per_fom_path(request.checkpoint, fom, foms),
+            progress=progress,
         )
         runs.append((fom, result))
         if len(foms) > 1 and fom != foms[-1] and _budget_exhausted(result, threshold):

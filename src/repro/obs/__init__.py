@@ -1,11 +1,18 @@
-"""Observability layer: instrumentation core, run journal, profiling report.
+"""Observability layer: instrumentation, journal, trace, progress, analytics.
 
-See DESIGN.md §7.  ``repro.obs.core`` is the zero-dependency span/
-counter/gauge registry the hot paths record into; ``repro.obs.journal``
-is the per-run JSONL event stream; ``repro.obs.report`` renders the
-``repro report`` profiling view from a journal.
+See DESIGN.md §7 and §9.  ``repro.obs.core`` is the zero-dependency
+span/counter/gauge registry the hot paths record into;
+``repro.obs.journal`` is the per-run JSONL event stream;
+``repro.obs.report`` renders the ``repro report`` profiling view from a
+journal.  ``repro.obs.trace`` exports span activity as a Chrome trace
+(Perfetto-loadable, per-worker lanes); ``repro.obs.progress`` is the
+live heartbeat (TTY line + atomic ``progress.json``);
+``repro.obs.compare`` diffs two run journals iteration-by-iteration and
+``repro.obs.trends`` tracks benchmark history with a trailing-median
+regression gate.
 """
 
+from .compare import compare_files, compare_runs, render_compare
 from .core import (
     NULL,
     Instrumentation,
@@ -24,7 +31,21 @@ from .journal import (
     read_journal,
     validate_event,
 )
-from .report import render_report, render_snapshot, report_from_file
+from .progress import ProgressReporter
+from .report import (
+    render_report,
+    render_snapshot,
+    report_as_dict,
+    report_from_file,
+)
+from .trace import TraceRecorder, to_chrome_trace, write_chrome_trace
+from .trends import (
+    TrendRegression,
+    append_history,
+    detect_regressions,
+    load_bench_file,
+    read_history,
+)
 
 __all__ = [
     "Instrumentation",
@@ -43,5 +64,18 @@ __all__ = [
     "validate_event",
     "render_report",
     "render_snapshot",
+    "report_as_dict",
     "report_from_file",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "ProgressReporter",
+    "compare_runs",
+    "compare_files",
+    "render_compare",
+    "TrendRegression",
+    "load_bench_file",
+    "read_history",
+    "append_history",
+    "detect_regressions",
 ]

@@ -122,7 +122,15 @@ class JournalError(ValueError):
 
 
 def validate_event(event: Dict) -> Dict:
-    """Check an event against :data:`REQUIRED_KEYS`; returns it unchanged."""
+    """Check an event against :data:`REQUIRED_KEYS`; returns it unchanged.
+
+    Version-carrying events (``run_start``/``resume``) are additionally
+    checked against :data:`JOURNAL_VERSION`: a journal written by a
+    *newer* schema fails here with a clear "unsupported version" error
+    in **every** reader -- report, compare, checkpoint resume -- instead
+    of surfacing later as a ``KeyError`` on a field this build has
+    never heard of.
+    """
     if not isinstance(event, dict):
         raise JournalError(f"journal event must be an object, got {type(event).__name__}")
     etype = event.get("event")
@@ -132,6 +140,18 @@ def validate_event(event: Dict) -> Dict:
     missing = [k for k in required if k not in event]
     if missing:
         raise JournalError(f"{etype} event missing required keys: {missing}")
+    if "version" in required:
+        version = event["version"]
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise JournalError(
+                f"{etype} event has a non-integer schema version {version!r}"
+            )
+        if version > JOURNAL_VERSION:
+            raise JournalError(
+                f"unsupported journal schema version {version} "
+                f"(this build reads up to v{JOURNAL_VERSION}); "
+                f"upgrade repro to read this journal"
+            )
     return event
 
 

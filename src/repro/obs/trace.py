@@ -1,0 +1,161 @@
+"""Chrome-trace export of span activity: ``repro simplify --trace out.json``.
+
+A :class:`TraceRecorder` attached to an
+:class:`~repro.obs.core.Instrumentation` (``obs.tracer = recorder``)
+turns every span into one *trace event*: the span's hierarchical path,
+its begin/end wall-clock instants, and an explicit parent id derived
+from the recorder's open-span stack (spans are context managers, so
+they close strictly LIFO and the stack *is* the parent chain).
+
+Events live in two coordinate systems:
+
+* **in process**, timestamps are raw :func:`time.perf_counter` readings
+  -- on Linux a system-wide monotonic clock, so readings taken in the
+  scoring worker processes are directly comparable to the
+  coordinator's.  Worker-side recorders
+  (:mod:`repro.parallel.pool`) drain their event buffers into each
+  shard result; the coordinator merges them with :meth:`add_remote`
+  in shard order, which makes the merged stream deterministic for a
+  fixed shard-to-worker assignment;
+* **on export**, :func:`to_chrome_trace` rebases everything against the
+  coordinator recorder's epoch and renders the Chrome trace event
+  format (the ``traceEvents`` array of ``"ph": "X"`` complete events
+  that ``chrome://tracing``, Perfetto and catapult load directly).
+  Each OS process becomes one pid lane with a ``process_name`` metadata
+  record -- the coordinator plus one ``scoring worker N`` lane per
+  worker pid -- so phase-2 shard parallelism and stragglers are visible
+  as parallel tracks.
+
+Span ids are namespaced by pid (``"<pid>:<n>"``), so merged worker
+events can never collide with coordinator ids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["SpanEvent", "TraceRecorder", "to_chrome_trace", "write_chrome_trace"]
+
+#: One completed span: (span id, parent id or None, hierarchical path,
+#: begin perf_counter, end perf_counter, recording pid).  A plain tuple
+#: so worker buffers pickle compactly.
+SpanEvent = Tuple[int, Optional[int], str, float, float, int]
+
+
+class TraceRecorder:
+    """Per-process buffer of completed span events.
+
+    One recorder belongs to one process (``pid``); remote events merged
+    with :meth:`add_remote` keep the pid they were recorded under.  The
+    ``epoch`` -- the coordinator's construction instant -- is the zero
+    point of the exported timeline.
+    """
+
+    def __init__(self, pid: Optional[int] = None) -> None:
+        self.pid = os.getpid() if pid is None else int(pid)
+        self.epoch = time.perf_counter()
+        self.events: List[SpanEvent] = []
+        self._open: List[Tuple[int, Optional[int]]] = []  # (id, parent)
+        self._next_id = 0
+
+    # -- recording (called from the span fast path) --------------------
+    def begin(self, path: str) -> None:
+        """Open a span: assign its id, remember its parent."""
+        parent = self._open[-1][0] if self._open else None
+        self._open.append((self._next_id, parent))
+        self._next_id += 1
+
+    def end(self, path: str, t0: float, t1: float) -> None:
+        """Close the innermost open span into a completed event."""
+        span_id, parent = self._open.pop()
+        self.events.append((span_id, parent, path, t0, t1, self.pid))
+
+    # -- merging --------------------------------------------------------
+    def drain(self) -> List[SpanEvent]:
+        """Hand over (and clear) the completed-event buffer.
+
+        The worker side of the shard protocol: completed events ship
+        back with each shard result, so a worker that scores many
+        shards never re-sends old events.
+        """
+        events, self.events = self.events, []
+        return events
+
+    def add_remote(self, events: Iterable[SpanEvent]) -> None:
+        """Merge a drained worker buffer (events keep their worker pid)."""
+        self.events.extend(tuple(ev) for ev in events)
+
+
+def to_chrome_trace(recorder: TraceRecorder) -> Dict:
+    """Render a recorder's events as a Chrome trace-format object.
+
+    Every event becomes a complete (``"ph": "X"``) slice with
+    microsecond timestamps relative to the recorder's epoch; ``args``
+    carries the full span path and the explicit ``id``/``parent`` pair
+    (ids namespaced ``"<pid>:<n>"``).  Lanes: the coordinator pid
+    first, then worker pids in ascending order, each named by a
+    ``process_name`` metadata record.
+    """
+    pids = sorted({ev[5] for ev in recorder.events})
+    if recorder.pid in pids:  # coordinator lane leads
+        pids.remove(recorder.pid)
+        pids.insert(0, recorder.pid)
+    lane_names = {}
+    worker_no = 0
+    for pid in pids:
+        if pid == recorder.pid:
+            lane_names[pid] = "repro coordinator"
+        else:
+            worker_no += 1
+            lane_names[pid] = f"scoring worker {worker_no}"
+
+    trace_events: List[Dict] = []
+    for pid in pids:
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": lane_names[pid]},
+            }
+        )
+    # Deterministic export order: lane by lane, each lane in recording
+    # order (begin-time order within a lane, since spans close LIFO and
+    # are appended on close -- re-sorted by t0 for the nesting readers).
+    for pid in pids:
+        lane = [ev for ev in recorder.events if ev[5] == pid]
+        lane.sort(key=lambda ev: (ev[3], -(ev[4] - ev[3]), ev[0]))
+        for span_id, parent, path, t0, t1, _pid in lane:
+            trace_events.append(
+                {
+                    "name": path.rsplit("/", 1)[-1],
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": (t0 - recorder.epoch) * 1e6,
+                    "dur": (t1 - t0) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        "path": path,
+                        "id": f"{pid}:{span_id}",
+                        "parent": None if parent is None else f"{pid}:{parent}",
+                    },
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, os.PathLike], recorder: TraceRecorder
+) -> int:
+    """Write the Chrome trace JSON for ``recorder``; returns the number
+    of span events exported."""
+    payload = to_chrome_trace(recorder)
+    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+    return sum(1 for ev in payload["traceEvents"] if ev.get("ph") == "X")

@@ -1,0 +1,204 @@
+"""Cross-run benchmark trends: ``repro trends BENCH_*.json``.
+
+``BENCH_<name>.json`` (written by the benchmark suite's ``bench_json``
+fixture) is a snapshot: one file, the latest rows, no history.  This
+module gives it a memory and a gate:
+
+* :func:`append_history` folds each snapshot row into
+  ``BENCH_history.jsonl`` -- one JSON line per (bench, row, timestamp),
+  append-only, so the perf trajectory across PRs lives in the repo's CI
+  artifact chain rather than in whoever remembered last week's number;
+* :func:`detect_regressions` compares each new row against the
+  **trailing median** of the most recent prior entries with the same
+  identity (same bench, same circuit/config fields).  Time-like
+  metrics (``t_*_ms``, ``*_s``) regress when they grow more than
+  ``threshold`` above the median; ``speedup*`` metrics regress when
+  they fall more than ``threshold`` below it.  The median (not the
+  last value) absorbs single-run CI noise; the window keeps old eras
+  from vetoing a legitimately changed baseline.
+
+CI runs ``repro trends`` as a *soft-fail* step: regressions annotate
+the run (exit code 3 under ``--fail-on-regression``, which the
+workflow wraps in ``continue-on-error``) without blocking the merge --
+shared-runner numbers are too noisy for a hard gate, but a >15% move
+against a 5-run median is worth a human look.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "TrendRegression",
+    "load_bench_file",
+    "append_history",
+    "read_history",
+    "detect_regressions",
+]
+
+#: Row fields that identify *what* was measured (matched across runs);
+#: every other numeric field is a candidate metric.
+_LOWER_IS_BETTER_PREFIXES = ("t_",)
+_LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s")
+_HIGHER_IS_BETTER_PREFIXES = ("speedup",)
+
+
+@dataclass
+class TrendRegression:
+    """One flagged metric move against its trailing median."""
+
+    bench: str
+    identity: Tuple[Tuple[str, object], ...]
+    metric: str
+    value: float
+    median: float
+    change_pct: float
+    samples: int
+
+    def describe(self) -> str:
+        ident = " ".join(f"{k}={v}" for k, v in self.identity)
+        return (
+            f"REGRESSION {self.bench} [{ident}] {self.metric}: "
+            f"{self.value:g} vs trailing median {self.median:g} "
+            f"({self.change_pct:+.1f}%, n={self.samples})"
+        )
+
+
+def _metric_direction(name: str) -> Optional[int]:
+    """+1 when higher is better, -1 when lower is better, None when the
+    field is not a tracked metric."""
+    if name.startswith(_HIGHER_IS_BETTER_PREFIXES):
+        return 1
+    if name.startswith(_LOWER_IS_BETTER_PREFIXES) or name.endswith(
+        _LOWER_IS_BETTER_SUFFIXES
+    ):
+        return -1
+    return None
+
+
+def _split_row(row: Dict) -> Tuple[Tuple[Tuple[str, object], ...], Dict[str, float]]:
+    """(identity fields, metric fields) for one bench row."""
+    identity = []
+    metrics = {}
+    for key in sorted(row):
+        value = row[key]
+        direction = _metric_direction(key)
+        if direction is not None and isinstance(value, (int, float)):
+            metrics[key] = float(value)
+        else:
+            identity.append((key, value))
+    return tuple(identity), metrics
+
+
+def load_bench_file(path: Union[str, os.PathLike]) -> Tuple[str, List[Dict]]:
+    """Read one ``BENCH_<name>.json`` snapshot -> (bench name, rows)."""
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "rows" not in data:
+        raise ValueError(f"{path}: not a BENCH_*.json snapshot (no 'rows')")
+    name = data.get("bench") or os.path.basename(os.fspath(path))
+    return str(name), list(data["rows"])
+
+
+def read_history(path: Union[str, os.PathLike]) -> List[Dict]:
+    """All history records, oldest first; a torn final line (killed CI
+    job mid-append) is tolerated exactly like a torn journal line."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = fh.read()
+    lines = raw.split("\n")
+    trailing_complete = lines and lines[-1] == ""
+    records = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1 and not trailing_complete:
+                break  # torn final append
+            raise ValueError(f"{path}: bad history line {i + 1}: {exc}") from exc
+    return records
+
+
+def detect_regressions(
+    history: Sequence[Dict],
+    bench: str,
+    rows: Sequence[Dict],
+    threshold: float = 0.15,
+    window: int = 5,
+    min_samples: int = 2,
+) -> List[TrendRegression]:
+    """Flag rows whose metrics moved > ``threshold`` against the
+    trailing median of the last ``window`` matching history entries."""
+    flagged: List[TrendRegression] = []
+    for row in rows:
+        identity, metrics = _split_row(row)
+        prior = [
+            rec["row"]
+            for rec in history
+            if rec.get("bench") == bench
+            and _split_row(rec.get("row", {}))[0] == identity
+        ][-window:]
+        if len(prior) < min_samples:
+            continue
+        for metric, value in metrics.items():
+            direction = _metric_direction(metric)
+            samples = sorted(
+                float(p[metric]) for p in prior if isinstance(p.get(metric), (int, float))
+            )
+            if len(samples) < min_samples:
+                continue
+            median = _median(samples)
+            if median == 0:
+                continue
+            change = (value - median) / abs(median)
+            if (direction < 0 and change > threshold) or (
+                direction > 0 and change < -threshold
+            ):
+                flagged.append(
+                    TrendRegression(
+                        bench=bench,
+                        identity=identity,
+                        metric=metric,
+                        value=value,
+                        median=median,
+                        change_pct=100.0 * change,
+                        samples=len(samples),
+                    )
+                )
+    return flagged
+
+
+def append_history(
+    path: Union[str, os.PathLike],
+    bench: str,
+    rows: Sequence[Dict],
+    recorded_unix: Optional[float] = None,
+) -> List[Dict]:
+    """Append one history record per row (one JSON line each); returns
+    the appended records."""
+    recorded = time.time() if recorded_unix is None else float(recorded_unix)
+    records = [
+        {"bench": bench, "recorded_unix": recorded, "row": dict(row)}
+        for row in rows
+    ]
+    with open(os.fspath(path), "a", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, separators=(",", ":"), sort_keys=True) + "\n")
+        fh.flush()
+    return records
+
+
+def _median(ordered: List[float]) -> float:
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])

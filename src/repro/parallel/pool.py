@@ -88,11 +88,14 @@ def resolve_workers(workers: Optional[int]) -> int:
 # One module-global estimator per worker process, installed by the pool
 # initializer.  ``_WORKER_GEN``/``_WORKER_CURRENT`` cache the latest
 # scored netlist so several shards of one iteration reuse the compiled
-# batch simulator.
+# batch simulator.  ``_WORKER_OBS`` exists only when the coordinator is
+# tracing: its :class:`~repro.obs.trace.TraceRecorder` buffers this
+# worker's span events, drained into every shard result.
 _WORKER_EST: Optional[MetricsEstimator] = None
 _WORKER_SHM = None  # keeps an attached SharedMemory segment alive
 _WORKER_GEN: int = -1
 _WORKER_CURRENT: Optional[Circuit] = None
+_WORKER_OBS: Optional[Instrumentation] = None
 
 
 def _init_worker(
@@ -100,9 +103,10 @@ def _init_worker(
     vectors: Optional[np.ndarray],
     shm_spec: Optional[Tuple[str, Tuple[int, int]]],
     value_outputs: Optional[Tuple[str, ...]],
+    trace: bool = False,
 ) -> None:
     """Build the per-worker estimator once (the pickle-once shipment)."""
-    global _WORKER_EST, _WORKER_SHM
+    global _WORKER_EST, _WORKER_SHM, _WORKER_OBS
     if shm_spec is not None:
         from multiprocessing import shared_memory
 
@@ -118,8 +122,14 @@ def _init_worker(
             pass
         _WORKER_SHM = shm
         vectors = np.ndarray(shape, dtype=np.bool_, buffer=shm.buf)
+    _WORKER_OBS = None
+    if trace:
+        from ..obs.trace import TraceRecorder
+
+        _WORKER_OBS = Instrumentation()
+        _WORKER_OBS.tracer = TraceRecorder()
     _WORKER_EST = MetricsEstimator(
-        circuit, vectors=vectors, value_outputs=value_outputs
+        circuit, vectors=vectors, value_outputs=value_outputs, obs=_WORKER_OBS
     )
 
 
@@ -128,11 +138,12 @@ def _score_shard(
     approx_blob: Optional[bytes],
     faults: Sequence[StuckAtFault],
     rs_drop_threshold: Optional[float],
-) -> List[Tuple[int, int, int, bool, int]]:
+) -> Tuple[List[Tuple[int, int, int, bool, int]], Optional[list]]:
     """Score one fault shard against the cached-or-shipped netlist.
 
     Returns compact per-fault rows (the fault objects stay on the
-    coordinator) in shard order.
+    coordinator) in shard order, plus this worker's drained span-trace
+    buffer when the coordinator is tracing (``None`` otherwise).
     """
     global _WORKER_GEN, _WORKER_CURRENT
     if _WORKER_EST is None:  # pragma: no cover - initializer always ran
@@ -142,10 +153,12 @@ def _score_shard(
             pickle.loads(approx_blob) if approx_blob is not None else None
         )
         _WORKER_GEN = gen
-    stats = _WORKER_EST.simulate_faults(
-        faults, approx=_WORKER_CURRENT, rs_drop_threshold=rs_drop_threshold
-    )
-    return [
+    obs = _WORKER_OBS if _WORKER_OBS is not None else get_active()
+    with obs.span("shard"):
+        stats = _WORKER_EST.simulate_faults(
+            faults, approx=_WORKER_CURRENT, rs_drop_threshold=rs_drop_threshold
+        )
+    rows = [
         (
             st.detected_count,
             st.max_abs_deviation,
@@ -155,6 +168,12 @@ def _score_shard(
         )
         for st in stats
     ]
+    trace_events = (
+        _WORKER_OBS.tracer.drain()
+        if _WORKER_OBS is not None and _WORKER_OBS.tracer is not None
+        else None
+    )
+    return rows, trace_events
 
 
 # ----------------------------------------------------------------------
@@ -244,9 +263,15 @@ class ScoringPool:
         broken = False
         for shard, future in zip(shards, futures):
             try:
-                rows = future.result(timeout=self.timeout_s)
+                rows, worker_trace = future.result(timeout=self.timeout_s)
                 merged.extend(self._rebuild(shard, rows))
                 self.obs.incr("parallel.faults_scored_remote", len(shard))
+                # Worker span buffers merge in shard order -- the same
+                # deterministic order the stats merge uses -- so a trace
+                # is reproducible for a fixed shard-to-worker assignment.
+                if worker_trace and self.obs.tracer is not None:
+                    self.obs.tracer.add_remote(worker_trace)
+                    self.obs.incr("parallel.trace_events_merged", len(worker_trace))
             except Exception:
                 # Crash, timeout, or a poisoned pool: this shard (and
                 # any later one that also fails) is scored in-process.
@@ -306,7 +331,13 @@ class ScoringPool:
                 max_workers=self.workers,
                 mp_context=self._ctx,
                 initializer=_init_worker,
-                initargs=(est.circuit, vectors, shm_spec, est.value_outputs),
+                initargs=(
+                    est.circuit,
+                    vectors,
+                    shm_spec,
+                    est.value_outputs,
+                    self.obs.tracer is not None,
+                ),
             )
         return self._executor
 

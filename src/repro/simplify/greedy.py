@@ -181,11 +181,13 @@ class GreedyResult:
 
 
 class _JournalTee:
-    """Fan one event stream out to several journals (run + checkpoint)."""
+    """Fan one event stream out to several sinks (run journal,
+    checkpoint journal, live progress reporter -- anything with the
+    ``emit(event)`` surface)."""
 
     __slots__ = ("journals",)
 
-    def __init__(self, journals: List[RunJournal]) -> None:
+    def __init__(self, journals: List) -> None:
         self.journals = journals
 
     def emit(self, event: Dict) -> None:
@@ -202,6 +204,7 @@ def circuit_simplify(
     obs: Optional[Instrumentation] = None,
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, os.PathLike]] = None,
+    progress=None,
 ) -> GreedyResult:
     """Greedy maximal area reduction within an RS budget (paper Fig. 6).
 
@@ -219,6 +222,13 @@ def circuit_simplify(
     (:class:`~repro.parallel.pool.ScoringPool`); ``None`` consults the
     ``REPRO_WORKERS`` environment variable, ``0`` means one per CPU.
     Parallel runs select the same fault sequence as serial runs.
+
+    ``progress`` attaches a live sink (usually a
+    :class:`~repro.obs.progress.ProgressReporter`) that receives the
+    same event stream as the journals -- the heartbeat can never
+    disagree with the journal.  The caller owns its lifetime (it is
+    not closed here, so one reporter can span the ``fom="best"``
+    policy's two constituent runs).
 
     ``checkpoint`` names a journal file that doubles as a durable run
     checkpoint: if the file already holds a run prefix (e.g. from a
@@ -300,7 +310,10 @@ def circuit_simplify(
         cj = RunJournal(checkpoint_path, append=replay is not None)
         sinks.append(cj)
         own_journals.append(cj)
-    tee: Optional[_JournalTee] = _JournalTee(sinks) if sinks else None
+    all_sinks: List = list(sinks)
+    if progress is not None:
+        all_sinks.append(progress)
+    tee: Optional[_JournalTee] = _JournalTee(all_sinks) if all_sinks else None
     if tee is not None and not obs.enabled:
         obs = Instrumentation()
 

@@ -208,3 +208,141 @@ def test_quiet_suppresses_stdout_but_not_errors(netlist, tmp_path, capsys):
     captured = capsys.readouterr()
     assert captured.out == ""
     assert "nope.jsonl" in captured.err
+
+
+def test_quiet_simplify_is_fully_silent(netlist, tmp_path, capsys):
+    """A --quiet run emits nothing at all: no report, no progress line,
+    no journal confirmation -- warnings/errors only."""
+    rc = main(["--quiet", "simplify", netlist, "--rs-pct", "5",
+               "--vectors", "500", "--journal", str(tmp_path / "r.jsonl"),
+               "-o", str(tmp_path / "out.bench")])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == ""
+    assert (tmp_path / "out.bench").exists()  # the work still happened
+    assert (tmp_path / "r.jsonl").exists()
+
+
+def test_simplify_trace_export(netlist, tmp_path, capsys):
+    """--trace writes Chrome-trace JSON; with --workers 2 the export
+    carries the coordinator lane plus two worker lanes."""
+    import json
+
+    trace = tmp_path / "trace.json"
+    rc = main(["simplify", netlist, "--rs-pct", "5", "--vectors", "1000",
+               "--workers", "2", "--trace", str(trace)])
+    assert rc == 0
+    assert "chrome trace written to" in capsys.readouterr().out
+    with open(trace) as fh:
+        payload = json.load(fh)
+    lanes = [ev["args"]["name"] for ev in payload["traceEvents"]
+             if ev["ph"] == "M"]
+    assert lanes[0] == "repro coordinator"
+    assert "scoring worker 1" in lanes and "scoring worker 2" in lanes
+    spans = [ev for ev in payload["traceEvents"] if ev["ph"] == "X"]
+    assert spans and all(ev["dur"] >= 0 for ev in spans)
+    paths = {ev["args"]["path"] for ev in spans}
+    assert any(p.startswith("greedy") for p in paths)
+    assert "shard" in paths  # worker-side spans merged in
+
+
+def test_simplify_trace_does_not_change_result(netlist, tmp_path, capsys):
+    plain = tmp_path / "plain.bench"
+    traced = tmp_path / "traced.bench"
+    common = ["simplify", netlist, "--rs-pct", "5", "--vectors", "1000"]
+    assert main(common + ["-o", str(plain)]) == 0
+    assert main(common + ["-o", str(traced),
+                          "--trace", str(tmp_path / "t.json")]) == 0
+    capsys.readouterr()
+    assert traced.read_text() == plain.read_text()
+
+
+def test_simplify_progress_snapshot(netlist, tmp_path, capsys):
+    import json
+
+    progress = tmp_path / "progress.json"
+    rc = main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+               "--progress", str(progress)])
+    assert rc == 0
+    assert "progress snapshot written to" in capsys.readouterr().out
+    snap = json.loads(progress.read_text())
+    assert snap["status"] == "complete"
+    assert snap["faults_committed"] >= 1
+    assert snap["area"] < snap["area_start"]
+    assert not progress.with_suffix(".json.tmp").exists()
+
+
+def test_report_format_json(netlist, tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "run.jsonl"
+    assert main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+                 "--journal", str(journal)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(journal), "--format", "json"]) == 0
+    d = json.loads(capsys.readouterr().out)
+    assert d["run"]["status"] == "complete"
+    assert d["run"]["iterations"] == len(d["iterations"])
+    assert any(row["path"] == "greedy" for row in d["phase_times"])
+
+
+def test_compare_cli_same_and_divergent(netlist, tmp_path, capsys):
+    ja, jb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    common = ["simplify", netlist, "--rs-pct", "5", "--vectors", "1000"]
+    assert main(common + ["--journal", str(ja)]) == 0
+    assert main(common + ["--journal", str(jb), "--fom", "area"]) == 0
+    capsys.readouterr()
+
+    # two journals of the same run: zero divergence, rc 0 even under the gate
+    assert main(["compare", str(ja), str(ja), "--fail-on-divergence"]) == 0
+    assert "zero divergence" in capsys.readouterr().out
+
+    # different --fom: the first diverging iteration is reported, rc 3
+    rc = main(["compare", str(ja), str(jb), "--fail-on-divergence"])
+    out = capsys.readouterr().out
+    if "FIRST DIVERGENCE" in out:
+        assert rc == 3
+    else:  # tiny adder: both FOMs may pick identical faults
+        assert rc == 0
+
+    assert main(["compare", str(ja), str(tmp_path / "nope.jsonl")]) == 2
+    assert "nope.jsonl" in capsys.readouterr().err
+
+
+def test_trends_cli_history_and_regression_gate(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    bench = tmp_path / "BENCH_demo.json"
+    history = tmp_path / "hist.jsonl"
+
+    def snapshot(t_total_s):
+        bench.write_text(json.dumps(
+            {"bench": "demo",
+             "rows": [{"circuit": "c880", "workers": 2,
+                       "t_total_s": t_total_s}]}))
+
+    # two clean baseline entries
+    for t in (10.0, 10.2):
+        snapshot(t)
+        assert main(["trends", str(bench), "--history", str(history)]) == 0
+    assert len(history.read_text().splitlines()) == 2
+
+    # a 30% slowdown against the trailing median trips the gate
+    snapshot(13.0)
+    rc = main(["trends", str(bench), "--history", str(history),
+               "--fail-on-regression"])
+    assert rc == 3
+    err = capsys.readouterr().err
+    assert "REGRESSION demo" in err and "t_total_s" in err
+
+    # --no-append checks without recording
+    before = history.read_text()
+    assert main(["trends", str(bench), "--history", str(history),
+                 "--no-append"]) == 0
+    assert history.read_text() == before
+
+    # a missing snapshot is a warning, not a failure (CI soft path)
+    assert main(["trends", str(tmp_path / "BENCH_missing.json"),
+                 "--history", str(history)]) == 0

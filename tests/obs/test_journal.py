@@ -88,6 +88,37 @@ def test_validate_rejects_each_missing_required_key(etype):
             validate_event(broken)
 
 
+def test_validate_rejects_newer_schema_version():
+    """A journal written by a newer build fails with a clear error in
+    every reader (load, report, compare, resume) -- never a KeyError."""
+    with pytest.raises(JournalError, match="unsupported journal schema version 3"):
+        validate_event(_header(version=JOURNAL_VERSION + 1))
+    with pytest.raises(JournalError, match="upgrade repro"):
+        validate_event({"event": "resume", "version": 99,
+                        "replayed_iterations": 0, "area": 1, "rs": 0.0})
+    # older versions still load (forward-reading is fine)
+    assert validate_event(_header(version=1))
+
+
+@pytest.mark.parametrize("version", ["2", 2.0, None, True])
+def test_validate_rejects_non_integer_version(version):
+    with pytest.raises(JournalError, match="non-integer schema version"):
+        validate_event(_header(version=version))
+
+
+def test_newer_version_rejected_by_file_readers(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps(_header(version=JOURNAL_VERSION + 5)) + "\n")
+    with pytest.raises(JournalError, match="unsupported journal schema version"):
+        load_journal(path)
+    from repro.obs import compare_files, report_from_file
+
+    with pytest.raises(JournalError, match="unsupported journal schema version"):
+        report_from_file(path)
+    with pytest.raises(JournalError, match="unsupported journal schema version"):
+        compare_files(path, path)
+
+
 def test_validate_rejects_unknown_type_and_non_dict():
     with pytest.raises(JournalError, match="unknown"):
         validate_event({"event": "wat"})

@@ -1,0 +1,163 @@
+"""Live progress heartbeat: sink behavior, atomic snapshot, ETA, quiet."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import ProgressReporter
+
+from .test_journal import _header, _iteration
+
+
+def _summary(**over):
+    ev = {"event": "summary", "area_after": 1, "area_reduction_pct": 66.7}
+    ev.update(over)
+    return ev
+
+
+def _feed(reporter, events):
+    for ev in events:
+        reporter.emit(ev)
+    return reporter
+
+
+# ----------------------------------------------------------------------
+# sink state machine
+# ----------------------------------------------------------------------
+def test_tracks_run_state_from_event_stream():
+    r = _feed(ProgressReporter(), [
+        _header(circuit="c17", area=3, rs_threshold=0.5),
+        _iteration(0, area_after=2, rs=0.25),
+        _iteration(1, area_after=1, rs=0.4),
+    ])
+    snap = r.snapshot()
+    assert snap["status"] == "running"
+    assert snap["circuit"] == "c17"
+    assert snap["iteration"] == 1
+    assert snap["faults_committed"] == 2
+    assert snap["area_start"] == 3 and snap["area"] == 1
+    assert snap["rs"] == 0.4
+    assert snap["rs_budget_used_pct"] == 80.0
+    assert snap["area_reduction_pct"] == pytest.approx(200 / 3)
+
+
+def test_summary_completes_and_close_marks_interrupted():
+    r = _feed(ProgressReporter(), [_header(), _iteration(0), _summary()])
+    assert r.snapshot()["status"] == "complete"
+    r.close()
+    assert r.snapshot()["status"] == "complete"  # close never downgrades
+
+    r2 = _feed(ProgressReporter(), [_header(), _iteration(0)])
+    r2.close()
+    assert r2.snapshot()["status"] == "interrupted"
+
+
+def test_run_start_resets_for_fom_best_second_pass():
+    r = _feed(ProgressReporter(), [_header(), _iteration(0), _iteration(1)])
+    assert r.faults_committed == 2
+    r.emit(_header(circuit="y", area=9))
+    assert r.faults_committed == 0
+    assert r.snapshot()["circuit"] == "y"
+    assert r.snapshot()["area_start"] == 9
+
+
+def test_resume_event_restores_midrun_state():
+    r = ProgressReporter()
+    r.emit({"event": "resume", "version": 2, "replayed_iterations": 5,
+            "area": 7, "rs": 0.3, "circuit": "c17"})
+    snap = r.snapshot()
+    assert snap["faults_committed"] == 5
+    assert snap["area"] == snap["area_start"] == 7
+    assert snap["rs"] == 0.3
+
+
+def test_headerless_prefix_takes_area_from_first_iteration():
+    r = _feed(ProgressReporter(), [_iteration(0, area_before=3, area_after=2)])
+    snap = r.snapshot()
+    assert snap["area_start"] == 3 and snap["area"] == 2
+
+
+# ----------------------------------------------------------------------
+# ETA
+# ----------------------------------------------------------------------
+def test_eta_from_phase_time_and_rs_ewma():
+    r = ProgressReporter()
+    r.emit(_header(rs_threshold=1.0))
+    assert r.eta_s() is None  # no signal yet
+    r.emit(_iteration(0, rs=0.25, phase_times={"rank": 1.0, "commit": 1.0}))
+    # one step: EWMA seeds at 2.0 s/step and 0.25 RS/step;
+    # 0.75 budget left -> 3 steps -> 6 s
+    assert r.eta_s() == 6.0
+    r.emit(_summary())
+    assert r.eta_s() is None  # finished runs have no ETA
+
+
+def test_eta_none_without_budget_or_rs_movement():
+    r = _feed(ProgressReporter(), [
+        _header(rs_threshold=None),
+        _iteration(0, phase_times={"rank": 1.0}),
+    ])
+    assert r.eta_s() is None
+
+
+# ----------------------------------------------------------------------
+# snapshot file: atomicity and coalescing
+# ----------------------------------------------------------------------
+def test_snapshot_file_written_atomically(tmp_path):
+    path = tmp_path / "progress.json"
+    r = ProgressReporter(json_path=path, interval_s=0.0)
+    r.emit(_header(circuit="c17"))
+    assert json.loads(path.read_text())["circuit"] == "c17"
+    assert not (tmp_path / "progress.json.tmp").exists()
+    r.emit(_iteration(0))
+    r.close()
+    final = json.loads(path.read_text())
+    assert final["status"] == "interrupted"
+    assert final["faults_committed"] == 1
+
+
+def test_interval_coalesces_writes(tmp_path):
+    path = tmp_path / "progress.json"
+    r = ProgressReporter(json_path=path, interval_s=3600.0)
+    r.emit(_header())  # run start forces a write
+    for i in range(50):
+        r.emit(_iteration(i))  # all inside the interval: coalesced
+    assert r.writes == 1
+    r.emit(_summary())  # run end forces a write
+    assert r.writes == 2
+
+
+# ----------------------------------------------------------------------
+# live line / quiet
+# ----------------------------------------------------------------------
+def test_tty_line_rewrites_in_place_and_close_newlines():
+    stream = io.StringIO()
+    r = ProgressReporter(stream=stream)
+    r.emit(_header(circuit="c17", area=3, rs_threshold=0.5))
+    r.emit(_iteration(0, area_after=2, rs=0.25))
+    out = stream.getvalue()
+    assert out.count("\r") == 2 and "\n" not in out
+    assert "[c17]" in out and "faults 1" in out and "RS" in out
+    r.close()
+    assert stream.getvalue().endswith("\n")
+
+
+def test_no_stream_and_no_path_is_fully_silent(tmp_path, capsys):
+    r = _feed(ProgressReporter(), [_header(), _iteration(0), _summary()])
+    r.close()
+    captured = capsys.readouterr()
+    assert captured.out == "" and captured.err == ""
+    assert r.writes == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_broken_stream_does_not_raise():
+    class Broken(io.StringIO):
+        def write(self, s):
+            raise OSError("gone")
+
+    r = ProgressReporter(stream=Broken())
+    r.emit(_header())
+    r.emit(_iteration(0))
+    r.close()

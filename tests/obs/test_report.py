@@ -134,3 +134,103 @@ def test_fmt_s_scales_units():
     assert _fmt_s(2.5) == "2.50s"
     assert _fmt_s(0.0153) == "15.3ms"
     assert _fmt_s(0.0000042) == "4us"
+
+
+# ----------------------------------------------------------------------
+# pinned parallel counters + derived cache hit-rates
+# ----------------------------------------------------------------------
+def test_parallel_counters_pinned_into_top_k():
+    counters = {f"c{i:02d}": 1000 - i for i in range(10)}
+    counters["parallel.shard_fallbacks"] = 2  # far below every c* row
+    counters["parallel.pool_failures"] = 1
+    out = render_report([_header(), _summary(counters=counters)], top_k=3)
+    assert "c00" in out and "c03" not in out
+    assert "parallel.shard_fallbacks" in out
+    assert "parallel.pool_failures" in out
+
+
+def test_derived_cache_hit_rate_rows():
+    counters = {
+        "estimator.batchsim_cache_hits": 30,
+        "estimator.batchsim_cache_misses": 10,
+        "batchsim.plan_cache_hits": 0,
+        "batchsim.plan_cache_misses": 0,  # zero total: no row
+    }
+    out = render_report([_header(), _summary(counters=counters)])
+    assert "estimator.batchsim_cache_hit_rate" in out
+    assert "75.0%  (30/40)" in out
+    assert "batchsim.plan_cache_hit_rate" not in out
+
+
+# ----------------------------------------------------------------------
+# machine-readable twin (--format json)
+# ----------------------------------------------------------------------
+def test_report_as_dict_mirrors_text_sections():
+    import json
+
+    from repro.obs import report_as_dict
+
+    d = report_as_dict(_complete_events())
+    json.dumps(d)  # fully serializable
+    assert d["run"]["circuit"] == "c17"
+    assert d["run"]["status"] == "complete"
+    assert d["run"]["iterations"] == 2
+    assert d["run"]["area_reduction_pct"] == 66.7
+    by_path = {row["path"]: row for row in d["phase_times"]}
+    assert by_path["greedy"]["share"] == pytest.approx(0.8)
+    assert by_path["greedy/rank"]["count"] == 2
+    assert [it["fault"] for it in d["iterations"]] == ["G1 s-a-0", "G3 SA1"]
+    assert d["counters"]["batchsim.vectors"] == 4000
+
+
+def test_report_as_dict_interrupted_and_derived():
+    from repro.obs import report_as_dict
+
+    events = [
+        _header(),
+        _iteration(0, counters={"estimator.sim_cache_hits": 9,
+                                "estimator.sim_cache_misses": 1}),
+    ]
+    d = report_as_dict(events)
+    assert d["run"]["status"] == "interrupted"
+    assert d["run"]["elapsed_s"] is None
+    assert d["derived"]["estimator.sim_cache_hit_rate"] == {
+        "hits": 9, "total": 10, "rate": 0.9,
+    }
+
+
+def test_report_as_dict_pins_parallel_counters():
+    from repro.obs import report_as_dict
+
+    counters = {f"c{i:02d}": 1000 - i for i in range(10)}
+    counters["parallel.shard_fallbacks"] = 2
+    d = report_as_dict([_header(), _summary(counters=counters)], top_k=3)
+    assert "parallel.shard_fallbacks" in d["counters"]
+    assert len([k for k in d["counters"] if k.startswith("c")]) == 3
+
+
+# ----------------------------------------------------------------------
+# golden v2 journal renders
+# ----------------------------------------------------------------------
+def test_render_report_against_golden_v2_journal():
+    """The checked-in golden c17 journal (schema v2) renders every
+    deterministic section; its stripped volatile keys degrade to the
+    documented placeholders rather than erroring."""
+    import json
+    import os
+
+    golden = os.path.join(os.path.dirname(__file__), "golden_c17_journal.json")
+    with open(golden, "r", encoding="utf-8") as fh:
+        events = json.load(fh)
+    assert events[0]["version"] == 2
+    out = render_report(events)
+    assert "=== run ===" in out
+    assert "circuit: c17" in out
+    assert "status: complete" in out
+    assert "=== iterations ===" in out
+    for ev in events:
+        if ev["event"] == "iteration":
+            assert str(ev["fault"]) in out
+    # volatile keys are stripped from the golden: placeholders render
+    assert "(no timing data recorded)" in out
+    assert "(no counters recorded)" in out

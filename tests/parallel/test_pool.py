@@ -214,6 +214,41 @@ def test_c1908_parallel_run_identical():
     assert dumps_bench(par.simplified) == dumps_bench(serial.simplified)
 
 
+def test_worker_trace_buffers_merge_into_coordinator(estimator, shortlist):
+    """With a tracer attached, shard scoring ships worker span events
+    back and the merged trace shows distinct worker pid lanes."""
+    import os
+
+    from repro.obs import TraceRecorder, to_chrome_trace
+
+    obs = Instrumentation()
+    obs.tracer = TraceRecorder()
+    serial = estimator.simulate_faults(shortlist)
+    with ScoringPool(estimator, 2, obs=obs) as pool:
+        merged = pool.simulate_faults(shortlist)
+    assert _rows(merged) == _rows(serial)  # tracing never perturbs stats
+    counters = obs.snapshot()["counters"]
+    assert counters["parallel.trace_events_merged"] > 0
+    worker_pids = {ev[5] for ev in obs.tracer.events} - {os.getpid()}
+    assert len(worker_pids) == 2
+    # every worker event sits under that worker's "shard" span
+    for ev in obs.tracer.events:
+        if ev[5] in worker_pids:
+            assert ev[2] == "shard" or ev[2].startswith("shard/")
+    payload = to_chrome_trace(obs.tracer)
+    lane_names = {m["args"]["name"] for m in payload["traceEvents"]
+                  if m["ph"] == "M"}
+    assert "scoring worker 1" in lane_names
+    assert "scoring worker 2" in lane_names
+
+
+def test_pool_without_tracer_ships_no_trace_buffers(estimator, shortlist):
+    obs = Instrumentation()
+    with ScoringPool(estimator, 2, obs=obs) as pool:
+        pool.simulate_faults(shortlist)
+    assert "parallel.trace_events_merged" not in obs.snapshot()["counters"]
+
+
 def test_parallel_run_emits_counters():
     ckt = build_ripple_adder(5)
     obs = Instrumentation()
