@@ -8,6 +8,10 @@ file extension) and on the built-in benchmark suite:
 * ``simplify``   -- RS-budgeted simplification of a netlist
 * ``report``     -- profiling view over a run journal (JSONL or JSON)
 * ``compare``    -- iteration-by-iteration diff of two run journals
+* ``audit``      -- estimator-calibration / RS-budget audit of a run
+  journal: predicted vs. realized deltas per committed fault, Wilson
+  ER confidence intervals, budget-risk flags (exit 3 when any fire),
+  and ``--exact`` BDD cross-check of the final ER on small circuits
 * ``trends``     -- benchmark history + trailing-median regression gate
 * ``redundancy`` -- classical redundancy removal only
 * ``table2``     -- one Table II row on a built-in ISCAS85-like circuit
@@ -127,6 +131,10 @@ def _add_greedy_options(p: argparse.ArgumentParser) -> None:
                    help="figure of merit; 'best' runs both and keeps the "
                         "better result (the paper's methodology)")
     p.add_argument("--candidate-limit", type=int, default=200)
+    p.add_argument("--exhaustive", action="store_true",
+                   help="simulate all 2**n input vectors instead of a "
+                        "random sample (small circuits; makes every ER "
+                        "exact and every confidence interval zero-width)")
     p.add_argument("--no-prepass", action="store_true",
                    help="skip the redundancy-removal prepass")
     p.add_argument("--pow2-es", action="store_true",
@@ -189,6 +197,7 @@ def _config(args: argparse.Namespace) -> GreedyConfig:
         seed=args.seed,
         fom=args.fom,
         candidate_limit=args.candidate_limit,
+        exhaustive=args.exhaustive,
         redundancy_prepass=not args.no_prepass,
         pow2_es=args.pow2_es,
     )
@@ -308,6 +317,50 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_audit(args: argparse.Namespace) -> int:
+    from .obs import audit_file, exact_er_check, render_audit
+
+    try:
+        audit = audit_file(args.journal, z=args.z)
+    except FileNotFoundError:
+        logger.error(f"no such journal: {args.journal}")
+        return 2
+    except JournalError as exc:
+        logger.error(str(exc))
+        return 2
+
+    if args.exact:
+        from .bdd import BddLimitExceeded
+        from .parallel import CheckpointError
+
+        if not args.netlist:
+            logger.error("--exact needs --netlist to replay the journal against")
+            return 2
+        circuit = _load_weighted(args.netlist, args.weights)
+        try:
+            audit["exact"] = exact_er_check(
+                circuit, args.journal, audit, node_limit=args.node_limit
+            )
+        except (CheckpointError, BddLimitExceeded) as exc:
+            logger.error(str(exc))
+            return 2
+
+    if args.format == "json":
+        logger.info(json.dumps(audit, indent=2, sort_keys=True))
+    else:
+        logger.info(render_audit(audit))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(audit, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        logger.info(f"audit written to {args.output}")
+    if audit["budget_risk_count"] > 0:
+        return 3
+    if args.exact and not audit["exact"]["agrees"]:
+        return 3
+    return 0
+
+
 def cmd_trends(args: argparse.Namespace) -> int:
     try:
         history = read_history(args.history)
@@ -336,7 +389,11 @@ def cmd_trends(args: argparse.Namespace) -> int:
             f"(window {args.window}, threshold {args.threshold:g}%)"
         )
         if not args.no_append:
-            history.extend(append_history(args.history, name, rows))
+            try:
+                history.extend(append_history(args.history, name, rows))
+            except OSError as exc:
+                logger.error(f"trends: cannot write history {args.history}: {exc}")
+                return 2
         regressions.extend(flagged)
     if regressions and args.fail_on_regression:
         return 3
@@ -503,6 +560,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--fail-on-divergence", action="store_true",
                    help="exit 3 when the trajectories are not identical")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("audit",
+                       help="estimator-calibration / RS-budget audit of a "
+                            "run journal")
+    p.add_argument("journal", help="journal JSONL path from --journal/--checkpoint")
+    p.add_argument("--exact", action="store_true",
+                   help="replay the journal and cross-check the final ER "
+                        "against the BDD engine (small circuits; needs "
+                        "--netlist)")
+    p.add_argument("--netlist", default=None, metavar="PATH",
+                   help="the original netlist the journaled run started from "
+                        "(required by --exact)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="also write the audit as JSON here")
+    p.add_argument("--z", type=float, default=1.96,
+                   help="normal quantile for the confidence level "
+                        "(default 1.96 = 95%%)")
+    p.add_argument("--node-limit", type=int, default=500_000,
+                   help="BDD node budget for --exact (default 500000)")
+    p.add_argument("--weights", choices=["unit", "binary"], default="binary")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("trends",
                        help="append BENCH_*.json rows to a history file and "

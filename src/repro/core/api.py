@@ -168,6 +168,7 @@ class SimplifyRequest:
             num_vectors=getattr(args, "vectors", 10_000),
             seed=getattr(args, "seed", 0),
             candidate_limit=getattr(args, "candidate_limit", 200),
+            exhaustive=getattr(args, "exhaustive", False),
             redundancy_prepass=not getattr(args, "no_prepass", False),
             pow2_es=getattr(args, "pow2_es", False),
             weights=getattr(args, "weights", "netlist"),

@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Tuple
 
 from ..circuit import Circuit
 
@@ -93,6 +93,26 @@ class ErrorMetrics:
     def within(self, rs_threshold: float) -> bool:
         """True when this measurement satisfies an absolute RS budget."""
         return self.rs <= rs_threshold
+
+    def er_confidence(
+        self, z: float = 1.96, exact: bool = False
+    ) -> Tuple[float, float]:
+        """Wilson-score confidence interval for the sampled ER.
+
+        ``exact=True`` marks the measurement as exhaustive-batch (no
+        sampling error): the interval collapses to the point estimate.
+        The detection count is recovered from ``er * num_vectors``.
+        """
+        from ..obs.quality import er_interval
+
+        return er_interval(self.er, self.num_vectors, z=z, exact=exact)
+
+    def rs_confidence(
+        self, z: float = 1.96, exact: bool = False
+    ) -> Tuple[float, float]:
+        """The RS band implied by :meth:`er_confidence` at this ES."""
+        lo, hi = self.er_confidence(z=z, exact=exact)
+        return (lo * self.es, hi * self.es)
 
     def __str__(self) -> str:
         return (

@@ -195,6 +195,15 @@ class MetricsEstimator:
                 es_bound=es_bound,
             )
 
+        def accept(metrics: ErrorMetrics) -> Tuple[bool, ErrorMetrics]:
+            # Budget-risk accounting: accepted on the point estimate,
+            # but the ER confidence interval's upper bound would have
+            # pushed RS over the threshold.
+            _lo, hi = self.er_confidence(metrics.er)
+            if metrics.rs <= rs_threshold < hi * metrics.es:
+                self.obs.incr("quality.budget_risk_accepts")
+            return True, metrics
+
         def pow2ceil(v: int) -> int:
             return 1 << (v - 1).bit_length() if v > 1 else v
 
@@ -207,7 +216,7 @@ class MetricsEstimator:
         if er * es_obs_eff > rs_threshold:
             return False, make(None)
         if not use_atpg:
-            return True, make(None)
+            return accept(make(None))
         t_star = int(rs_threshold / er) + 1
         if t_star <= observed:
             return False, make(None)
@@ -229,8 +238,20 @@ class MetricsEstimator:
             bound = res.deviation if res.deviation is not None else t_star - 1
             if pow2_es and er * pow2ceil(max(bound, observed, 1)) > rs_threshold:
                 return False, make(bound)
-            return True, make(bound)
+            return accept(make(bound))
         return False, make(None)
+
+    # ------------------------------------------------------------------
+    def er_confidence(self, er: float, z: float = 1.96) -> Tuple[float, float]:
+        """Confidence interval for an ER measured on this estimator's batch.
+
+        Wilson-score at level ``z`` for sampled batches; exhaustive
+        estimators have no sampling error, so the interval collapses to
+        the point estimate.
+        """
+        from ..obs.quality import er_interval
+
+        return er_interval(er, self.num_vectors, z=z, exact=self.exhaustive)
 
     # ------------------------------------------------------------------
     def exact_error_rate(

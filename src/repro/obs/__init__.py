@@ -9,7 +9,10 @@ journal.  ``repro.obs.trace`` exports span activity as a Chrome trace
 live heartbeat (TTY line + atomic ``progress.json``);
 ``repro.obs.compare`` diffs two run journals iteration-by-iteration and
 ``repro.obs.trends`` tracks benchmark history with a trailing-median
-regression gate.
+regression gate.  ``repro.obs.quality`` (DESIGN.md §10) is the
+statistical-quality layer: Wilson-score confidence intervals for
+sampled ER estimates, per-iteration estimator-calibration events, and
+the ``repro audit`` provenance trail.
 """
 
 from .compare import compare_files, compare_runs, render_compare
@@ -32,6 +35,16 @@ from .journal import (
     validate_event,
 )
 from .progress import ProgressReporter
+from .quality import (
+    DEFAULT_Z,
+    audit_events,
+    audit_file,
+    calibration_event,
+    er_interval,
+    exact_er_check,
+    render_audit,
+    wilson_interval,
+)
 from .report import (
     render_report,
     render_snapshot,
@@ -78,4 +91,12 @@ __all__ = [
     "read_history",
     "append_history",
     "detect_regressions",
+    "DEFAULT_Z",
+    "wilson_interval",
+    "er_interval",
+    "calibration_event",
+    "audit_events",
+    "audit_file",
+    "render_audit",
+    "exact_er_check",
 ]

@@ -121,12 +121,22 @@ def _side_view(events: Sequence[Dict]) -> Dict:
     header = next((e for e in events if e.get("event") == "run_start"), None)
     summary = next((e for e in events if e.get("event") == "summary"), None)
     iterations = [e for e in events if e.get("event") == "iteration"]
+    calibrations = [e for e in events if e.get("event") == "calibration"]
+    # Pre-v3 journals carry no calibration events: budget risk is
+    # unknown (None), not zero.
+    version = (header or {}).get("version")
+    budget_risk = (
+        sum(1 for e in calibrations if e.get("budget_risk"))
+        if (version is not None and version >= 3)
+        else None
+    )
     view: Dict = {
         "circuit": header.get("circuit") if header else None,
         "fom": (header or {}).get("config", {}).get("fom"),
         "seed": header.get("seed") if header else None,
         "rs_threshold": header.get("rs_threshold") if header else None,
         "iterations": len(iterations),
+        "budget_risk": budget_risk,
         "complete": summary is not None,
         "_iterations": iterations,
     }

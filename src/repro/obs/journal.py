@@ -35,6 +35,17 @@ record commit-phase rejections (rebuilding the greedy loop's banned set
 on resume), and a ``resume`` event marks each continuation of an
 interrupted run.  A journal written in append mode (``append=True``)
 continues an existing file instead of naming a fresh run.
+
+Version 3 adds estimator-calibration observability
+(:mod:`repro.obs.quality`): each committed iteration is followed by a
+``calibration`` event pairing the *predicted* ER/ES/area deltas the
+candidate ranking saw at selection time with the *realized* commit
+measurement, the ER sample size, the Wilson-score confidence interval,
+and the budget-risk flag (CI upper bound crosses the RS threshold
+although the point estimate did not).  ``repro audit`` renders these;
+v2 journals (no calibration events) still load everywhere, with the
+calibration view degrading to CI bands recomputed from the journaled
+ER and batch size.
 """
 
 from __future__ import annotations
@@ -54,7 +65,7 @@ __all__ = [
     "truncate_torn_tail",
 ]
 
-JOURNAL_VERSION = 2
+JOURNAL_VERSION = 3
 
 #: Required keys per event type.  ``iteration`` deliberately does not
 #: require ``phase_times``/``counters``/``fault_detail`` -- they are
@@ -95,6 +106,16 @@ REQUIRED_KEYS: Dict[str, tuple] = {
         "index",
         "fault",
         "reason",
+    ),
+    "calibration": (
+        "event",
+        "index",
+        "fault",
+        "predicted",
+        "realized",
+        "num_vectors",
+        "er_ci",
+        "budget_risk",
     ),
     "resume": (
         "event",

@@ -103,13 +103,15 @@ def derived_counter_rows(counters: Dict[str, int]) -> List[Tuple[str, str]]:
 def _counter_table(
     counters: Dict[str, int], top_k: int
 ) -> List[Tuple[str, int]]:
-    """Top-k counters by magnitude, with every ``parallel.*`` counter
-    pinned into the table regardless of rank."""
+    """Top-k counters by magnitude, with every ``parallel.*`` and
+    ``quality.*`` counter pinned into the table regardless of rank
+    (a nonzero budget-risk or zero-pattern count must never be crowded
+    out by bigger raw numbers)."""
     ranked = sorted(counters.items(), key=lambda kv: -abs(kv[1]))
     table = ranked[:top_k]
     shown = {name for name, _n in table}
     for name, n in ranked[top_k:]:
-        if name.startswith("parallel.") and name not in shown:
+        if name.startswith(("parallel.", "quality.")) and name not in shown:
             table.append((name, n))
     return table
 

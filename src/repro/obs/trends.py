@@ -189,7 +189,13 @@ def append_history(
         {"bench": bench, "recorded_unix": recorded, "row": dict(row)}
         for row in rows
     ]
-    with open(os.fspath(path), "a", encoding="utf-8") as fh:
+    path = os.fspath(path)
+    # First run of a fresh checkout: the history file (and possibly its
+    # directory) does not exist yet -- create it instead of tracebacking.
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
         for rec in records:
             fh.write(json.dumps(rec, separators=(",", ":"), sort_keys=True) + "\n")
         fh.flush()

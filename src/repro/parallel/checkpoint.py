@@ -101,6 +101,7 @@ class CheckpointState:
     header: Dict
     iteration_events: List[Dict] = field(default_factory=list)
     rejection_events: List[Dict] = field(default_factory=list)
+    calibration_events: List[Dict] = field(default_factory=list)
     summary: Optional[Dict] = None
     resumes: int = 0
 
@@ -233,6 +234,12 @@ def _state_from_events(path: str, events: List[Dict], header: Dict) -> Checkpoin
             state.iteration_events.append(ev)
         elif etype == "rejection":
             state.rejection_events.append(ev)
+        elif etype == "calibration":
+            # v3 quality observability; replay does not need them, but
+            # the audit command reads them through this state, and a
+            # truncated trailing calibration event must not poison
+            # resume.
+            state.calibration_events.append(ev)
         elif etype == "resume":
             state.resumes += 1
         elif etype == "summary":

@@ -516,6 +516,16 @@ def _run_greedy(
             current = _apply_redundancy_prepass(current, cfg, estimator, result)
         for rec in result.iterations:
             _emit_iteration(journal, rec, prev)
+            # Prepass injections are PODEM-proven free: the selection-
+            # time prediction is exactly zero ER and ES.
+            _emit_calibration(
+                journal,
+                rec,
+                predicted={"er": 0.0, "es": 0,
+                           "area_delta": rec.area_delta, "fom": None},
+                threshold=threshold,
+                exhaustive=cfg.exhaustive,
+            )
         if result.faults:
             # Every prepass injection is PODEM-proven function
             # preserving, so the restructured netlist can serve as the
@@ -544,7 +554,7 @@ def _run_greedy(
             evaluated = len(scored)
             t0 = time.perf_counter()
             with obs.span("commit"):
-                for fom_value, fault, _sim_rs in scored:
+                for fom_value, fault, _sim_rs, pred_er, pred_es, pred_delta in scored:
                     # Build the tentative netlist and take the commit
                     # decision with the configured (conservative) ES.
                     overlay = Overlay(current)
@@ -591,6 +601,18 @@ def _run_greedy(
                     committed = True
                     obs.incr("greedy.commits_accepted")
                     _emit_iteration(journal, rec, prev)
+                    _emit_calibration(
+                        journal,
+                        rec,
+                        predicted={
+                            "er": pred_er,
+                            "es": pred_es,
+                            "area_delta": pred_delta,
+                            "fom": fom_value if math.isfinite(fom_value) else None,
+                        },
+                        threshold=threshold,
+                        exhaustive=cfg.exhaustive,
+                    )
                     break
             if not committed:
                 break
@@ -651,6 +673,33 @@ def _emit_iteration(
             }
         )
     prev.er, prev.es, prev.rs = m.er, m.es, m.rs
+
+
+def _emit_calibration(
+    journal: Optional[_JournalTee],
+    rec: IterationRecord,
+    predicted: Optional[Dict],
+    threshold: float,
+    exhaustive: bool,
+) -> None:
+    """Journal the v3 calibration event for one committed step: the
+    selection-time prediction next to the realized commit measurement,
+    with the ER confidence interval and the budget-risk flag."""
+    if journal is None:
+        return
+    from ..obs.quality import calibration_event
+
+    journal.emit(
+        calibration_event(
+            index=rec.index,
+            fault=str(rec.fault),
+            metrics=rec.metrics,
+            area_delta=rec.area_delta,
+            rs_threshold=threshold,
+            predicted=predicted,
+            exact=exhaustive,
+        )
+    )
 
 
 def _emit_rejection(
@@ -846,8 +895,14 @@ def _rank_candidates(
     threshold: float,
     current_rs: float,
     pool=None,
-) -> List[Tuple[float, StuckAtFault, float]]:
-    """Score candidates; returns (fom, fault, simulated_rs) sorted best first."""
+) -> List[Tuple[float, StuckAtFault, float, float, int, int]]:
+    """Score candidates; sorted best first.
+
+    Each entry is ``(fom, fault, simulated_rs, er, observed_es,
+    area_delta)`` -- the trailing triple is the selection-time
+    *prediction* the calibration events pair with the realized commit
+    measurement.
+    """
     reach = _reachable_weight(current)
 
     # Phase 1: structural proxy ranking (cheap) to pick the shortlist.
@@ -888,7 +943,7 @@ def _rank_candidates(
             estimator.simulate(approx=current, faults=[f]) + (False,)
             for _proxy, _delta, f in shortlist
         ]
-    scored: List[Tuple[float, StuckAtFault, float]] = []
+    scored: List[Tuple[float, StuckAtFault, float, float, int, int]] = []
     for (_proxy, delta, f), (er, observed, dropped) in zip(shortlist, results):
         sim_rs = er * observed
         if dropped or sim_rs > threshold:
@@ -897,6 +952,6 @@ def _rank_candidates(
             fom = float(delta)
         else:
             fom = delta / max(sim_rs - current_rs, eps)
-        scored.append((fom, f, sim_rs))
+        scored.append((fom, f, sim_rs, er, observed, delta))
     scored.sort(key=lambda t: -t[0])
     return scored

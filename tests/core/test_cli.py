@@ -346,3 +346,26 @@ def test_trends_cli_history_and_regression_gate(tmp_path, capsys, monkeypatch):
     # a missing snapshot is a warning, not a failure (CI soft path)
     assert main(["trends", str(tmp_path / "BENCH_missing.json"),
                  "--history", str(history)]) == 0
+
+
+def test_trends_first_run_creates_history_file_cleanly(tmp_path, capsys):
+    """A fresh checkout has no history file (and maybe no artifact dir):
+    the first `repro trends` run creates both instead of tracebacking."""
+    import json
+
+    bench = tmp_path / "BENCH_demo.json"
+    bench.write_text(json.dumps(
+        {"bench": "demo", "rows": [{"circuit": "c880", "t_total_s": 10.0}]}))
+    history = tmp_path / "artifacts" / "nested" / "BENCH_history.jsonl"
+    assert not history.parent.exists()
+    assert main(["trends", str(bench), "--history", str(history)]) == 0
+    assert "TREND demo" in capsys.readouterr().out
+    assert len(history.read_text().splitlines()) == 1
+
+    # an unwritable history path is a clean exit-2 error, not a traceback
+    blocked = tmp_path / "file"
+    blocked.write_text("")
+    rc = main(["trends", str(bench),
+               "--history", str(blocked / "hist.jsonl")])
+    assert rc == 2
+    assert "cannot write history" in capsys.readouterr().err

@@ -91,7 +91,10 @@ def test_validate_rejects_each_missing_required_key(etype):
 def test_validate_rejects_newer_schema_version():
     """A journal written by a newer build fails with a clear error in
     every reader (load, report, compare, resume) -- never a KeyError."""
-    with pytest.raises(JournalError, match="unsupported journal schema version 3"):
+    with pytest.raises(
+        JournalError,
+        match=f"unsupported journal schema version {JOURNAL_VERSION + 1}",
+    ):
         validate_event(_header(version=JOURNAL_VERSION + 1))
     with pytest.raises(JournalError, match="upgrade repro"):
         validate_event({"event": "resume", "version": 99,

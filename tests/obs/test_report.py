@@ -212,17 +212,19 @@ def test_report_as_dict_pins_parallel_counters():
 # ----------------------------------------------------------------------
 # golden v2 journal renders
 # ----------------------------------------------------------------------
-def test_render_report_against_golden_v2_journal():
-    """The checked-in golden c17 journal (schema v2) renders every
+def test_render_report_against_golden_journal():
+    """The checked-in golden c17 journal (current schema) renders every
     deterministic section; its stripped volatile keys degrade to the
     documented placeholders rather than erroring."""
     import json
     import os
 
+    from repro.obs import JOURNAL_VERSION
+
     golden = os.path.join(os.path.dirname(__file__), "golden_c17_journal.json")
     with open(golden, "r", encoding="utf-8") as fh:
         events = json.load(fh)
-    assert events[0]["version"] == 2
+    assert events[0]["version"] == JOURNAL_VERSION
     out = render_report(events)
     assert "=== run ===" in out
     assert "circuit: c17" in out
