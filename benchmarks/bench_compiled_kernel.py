@@ -1,0 +1,176 @@
+"""Compiled whole-netlist kernel vs the per-gate python interpreter.
+
+Three measurements on the big Table II circuits (c5315, c7552), all
+with both engines producing bit-identical results (enforced by
+``tests/simulation/test_engine_equivalence.py`` and spot-checked here):
+
+* whole-netlist good-value simulation throughput,
+* greedy phase-2 candidate ranking (``MetricsEstimator.simulate_faults``
+  over the real greedy shortlist),
+* an end-to-end ``circuit_simplify`` run.
+
+Rows land in ``bench_results.txt`` and machine-readably in
+``BENCH_compiled_kernel.json`` (consumed by ``repro trends`` in CI).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.benchlib import ISCAS85_SUITE
+from repro.faults import enumerate_faults
+from repro.metrics import MetricsEstimator
+from repro.simplify import GreedyConfig, circuit_simplify, preview_area_reduction
+from repro.simulation import LogicSimulator, make_simulator, random_vectors
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+NUM_VECTORS = 10_000 if FULL else 4_000
+SHORTLIST = 200 if FULL else 96
+ROUNDS = 3
+CIRCUITS = ["c5315", "c7552"]
+
+
+def _timeit(fn, rounds=ROUNDS):
+    fn()  # warm caches (compiled program, cone plans, good values)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - t0) / rounds
+
+
+def greedy_shortlist(circuit, limit):
+    """Replicate the greedy loop's phase-1 proxy pre-ranking."""
+    scored = []
+    for f in enumerate_faults(circuit):
+        try:
+            delta = preview_area_reduction(circuit, f)
+        except Exception:
+            continue
+        if delta > 0:
+            scored.append((delta, f))
+    scored.sort(key=lambda t: -t[0])
+    return [f for _delta, f in scored[:limit]]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_good_sim_throughput(name, benchmark, bench_rows, bench_json):
+    circuit = ISCAS85_SUITE[name].builder()
+    rng = np.random.default_rng(0)
+    vectors = random_vectors(len(circuit.inputs), NUM_VECTORS, rng)
+    py = LogicSimulator(circuit)
+    cm, engine = make_simulator(circuit, "compiled")
+    assert engine == "compiled"
+
+    a, b = py.run(vectors), cm.run(vectors)
+    for o in circuit.outputs:
+        assert np.array_equal(a.words_for(o), b.words_for(o))
+
+    t_py = _timeit(lambda: py.run(vectors))
+    t_cm = _timeit(lambda: cm.run(vectors))
+    benchmark.pedantic(lambda: cm.run(vectors), rounds=1, iterations=1)
+    speedup = t_py / t_cm
+    bench_rows.append(
+        f"KERNEL-SIM {name:<6} {NUM_VECTORS} vectors: "
+        f"python={t_py * 1e3:7.1f}ms  compiled={t_cm * 1e3:7.1f}ms  "
+        f"speedup={speedup:.1f}x"
+    )
+    bench_json["compiled_kernel"].append(
+        {
+            "bench": "good_sim",
+            "circuit": name,
+            "num_vectors": NUM_VECTORS,
+            "full_profile": FULL,
+            "t_python_ms": round(t_py * 1e3, 3),
+            "t_compiled_ms": round(t_cm * 1e3, 3),
+            "speedup": round(speedup, 2),
+        }
+    )
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_candidate_ranking_speedup(name, benchmark, bench_rows, bench_json):
+    """Greedy phase-2 scoring under each engine (batch path in both)."""
+    circuit = ISCAS85_SUITE[name].builder()
+    faults = greedy_shortlist(circuit, SHORTLIST)
+    est = {
+        eng: MetricsEstimator(
+            circuit, num_vectors=NUM_VECTORS, seed=0, engine=eng
+        )
+        for eng in ("python", "compiled")
+    }
+
+    stats_py = est["python"].simulate_faults(faults, approx=circuit)
+    stats_cm = est["compiled"].simulate_faults(faults, approx=circuit)
+    for a, b in zip(stats_py, stats_cm):
+        assert a.error_rate == b.error_rate
+        assert a.max_abs_deviation == b.max_abs_deviation
+
+    t_py = _timeit(lambda: est["python"].simulate_faults(faults, approx=circuit))
+    t_cm = _timeit(lambda: est["compiled"].simulate_faults(faults, approx=circuit))
+    benchmark.pedantic(
+        lambda: est["compiled"].simulate_faults(faults, approx=circuit),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = t_py / t_cm
+    bench_rows.append(
+        f"KERNEL-RANK {name:<6} {len(faults)} candidates x {NUM_VECTORS} vectors: "
+        f"python={t_py * 1e3:7.1f}ms  compiled={t_cm * 1e3:7.1f}ms  "
+        f"speedup={speedup:.1f}x"
+    )
+    bench_json["compiled_kernel"].append(
+        {
+            "bench": "candidate_ranking",
+            "circuit": name,
+            "candidates": len(faults),
+            "num_vectors": NUM_VECTORS,
+            "full_profile": FULL,
+            "t_python_ms": round(t_py * 1e3, 3),
+            "t_compiled_ms": round(t_cm * 1e3, 3),
+            "speedup": round(speedup, 2),
+        }
+    )
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_end_to_end_simplify(name, benchmark, bench_rows, bench_json):
+    """A bounded circuit_simplify run, wall-clock under each engine."""
+    circuit = ISCAS85_SUITE[name].builder()
+    iters = 8 if FULL else 4
+
+    def run(engine):
+        cfg = GreedyConfig(
+            num_vectors=NUM_VECTORS,
+            seed=0,
+            candidate_limit=60,
+            max_iterations=iters,
+            atpg_node_limit=400,
+            engine=engine,
+        )
+        t0 = time.perf_counter()
+        res = circuit_simplify(circuit, rs_pct_threshold=2.0, config=cfg)
+        return time.perf_counter() - t0, res
+
+    t_py, res_py = run("python")
+    t_cm, res_cm = run("compiled")
+    assert [str(f) for f in res_py.faults] == [str(f) for f in res_cm.faults]
+    benchmark.pedantic(lambda: run("compiled"), rounds=1, iterations=1)
+    speedup = t_py / t_cm
+    bench_rows.append(
+        f"KERNEL-E2E {name:<6} {len(res_cm.iterations)} commits: "
+        f"python={t_py:6.2f}s  compiled={t_cm:6.2f}s  speedup={speedup:.1f}x"
+    )
+    bench_json["compiled_kernel"].append(
+        {
+            "bench": "end_to_end",
+            "circuit": name,
+            "iterations": len(res_cm.iterations),
+            "num_vectors": NUM_VECTORS,
+            "full_profile": FULL,
+            "t_python_s": round(t_py, 3),
+            "t_compiled_s": round(t_cm, 3),
+            "speedup": round(speedup, 2),
+        }
+    )

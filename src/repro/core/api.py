@@ -56,6 +56,7 @@ logger = logging.getLogger("repro.core")
 _FOMS = ("best", "area", "area_per_rs")
 _ES_MODES = ("hybrid", "atpg", "simulated")
 _WEIGHTS = ("netlist", "unit", "binary")
+_REQUEST_ENGINES = ("auto", "compiled", "python")
 
 # GreedyConfig fields that SimplifyRequest mirrors one-to-one.
 _GREEDY_FIELDS = (
@@ -72,6 +73,7 @@ _GREEDY_FIELDS = (
     "pow2_es",
     "redundancy_prepass",
     "prepass_backtrack_limit",
+    "engine",
 )
 
 
@@ -89,6 +91,13 @@ class SimplifyRequest:
     *copy* of the circuit before the run: ``"netlist"`` uses the
     circuit as given, ``"unit"`` forces every data output to weight 1,
     ``"binary"`` weighs output bit *i* as ``2**i``.
+
+    ``engine`` picks the simulation kernel: ``"compiled"`` (the
+    whole-netlist compiled kernel), ``"python"`` (the per-gate
+    reference simulator), or ``"auto"`` (the default -- consults
+    ``REPRO_ENGINE``, falling back to compiled).  Both engines are
+    bit-identical; a netlist the compiler rejects falls back to python
+    automatically.
 
     ``workers`` shards phase-2 candidate scoring across processes
     (``None`` consults ``REPRO_WORKERS``; see
@@ -118,6 +127,7 @@ class SimplifyRequest:
     pow2_es: bool = False
     redundancy_prepass: bool = False
     prepass_backtrack_limit: int = 500
+    engine: str = "auto"
     weights: str = "netlist"
     workers: Optional[int] = None
     checkpoint: Optional[str] = None
@@ -137,6 +147,10 @@ class SimplifyRequest:
         if self.weights not in _WEIGHTS:
             raise ValueError(
                 f"weights must be one of {_WEIGHTS}, got {self.weights!r}"
+            )
+        if self.engine is not None and self.engine not in _REQUEST_ENGINES:
+            raise ValueError(
+                f"engine must be one of {_REQUEST_ENGINES}, got {self.engine!r}"
             )
         if self.num_vectors <= 0:
             raise ValueError("num_vectors must be positive")
@@ -171,6 +185,7 @@ class SimplifyRequest:
             exhaustive=getattr(args, "exhaustive", False),
             redundancy_prepass=not getattr(args, "no_prepass", False),
             pow2_es=getattr(args, "pow2_es", False),
+            engine=getattr(args, "engine", "auto") or "auto",
             weights=getattr(args, "weights", "netlist"),
             workers=getattr(args, "workers", None),
             checkpoint=getattr(args, "checkpoint", None),

@@ -34,6 +34,7 @@ from ..circuit import Circuit
 from ..faults.model import StuckAtFault
 from ..obs.core import Instrumentation, get_active
 from ..simulation.batchfaultsim import BatchFaultSimulator, FaultBatchStats
+from ..simulation.compiled import make_simulator
 from ..simulation.logicsim import LogicSimulator, SimResult
 from ..simulation.vectors import exhaustive_vectors, pack_vectors, random_vectors
 from .errors import ErrorMetrics, rs_max
@@ -54,6 +55,7 @@ class MetricsEstimator:
         atpg_node_limit: int = 20_000,
         obs: Optional[Instrumentation] = None,
         vectors: Optional[np.ndarray] = None,
+        engine: Optional[str] = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
@@ -90,7 +92,11 @@ class MetricsEstimator:
         # positions of value outputs within the output list (for pairing)
         self._value_pos = [circuit.outputs.index(o) for o in self.value_outputs]
 
-        self._good_sim = LogicSimulator(circuit)
+        # The resolved engine is pinned here: every simulator this
+        # estimator builds (good machine, per-netlist full sims, batch
+        # cone sims, pool workers) uses the same one, and a compile
+        # fallback downgrades them all consistently.
+        self._good_sim, self.engine = make_simulator(circuit, engine, self.obs)
         self._good = self._good_sim.run_packed(self.packed, self.num_vectors)
         self._good_words = [self._good.words_for(o) for o in circuit.outputs]
         self._good_value_bits = self._good.output_bits(self.value_outputs)
@@ -330,6 +336,7 @@ class MetricsEstimator:
                 value_outputs=value_names,
                 weights=self.weights,
                 obs=self.obs,
+                engine=self.engine,
             )
             bsim.load_batch(
                 packed=self.packed,
@@ -345,7 +352,7 @@ class MetricsEstimator:
         sim = self._sim_cache.get(key)
         if sim is None or sim.circuit is not target:
             self.obs.incr("estimator.sim_cache_misses")
-            sim = LogicSimulator(target)
+            sim, _engine = make_simulator(target, self.engine, self.obs)
             self._sim_cache = {key: sim}  # keep only the latest netlist
         else:
             self.obs.incr("estimator.sim_cache_hits")

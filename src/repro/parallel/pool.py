@@ -104,6 +104,7 @@ def _init_worker(
     shm_spec: Optional[Tuple[str, Tuple[int, int]]],
     value_outputs: Optional[Tuple[str, ...]],
     trace: bool = False,
+    engine: Optional[str] = None,
 ) -> None:
     """Build the per-worker estimator once (the pickle-once shipment)."""
     global _WORKER_EST, _WORKER_SHM, _WORKER_OBS
@@ -128,8 +129,15 @@ def _init_worker(
 
         _WORKER_OBS = Instrumentation()
         _WORKER_OBS.tracer = TraceRecorder()
+    # The coordinator ships its *resolved* engine, so worker estimators
+    # never re-consult REPRO_ENGINE (which could differ after a fork
+    # from an env-mutating test) and score bit-identically to it.
     _WORKER_EST = MetricsEstimator(
-        circuit, vectors=vectors, value_outputs=value_outputs, obs=_WORKER_OBS
+        circuit,
+        vectors=vectors,
+        value_outputs=value_outputs,
+        obs=_WORKER_OBS,
+        engine=engine,
     )
 
 
@@ -337,6 +345,7 @@ class ScoringPool:
                     shm_spec,
                     est.value_outputs,
                     self.obs.tracer is not None,
+                    est.engine,
                 ),
             )
         return self._executor

@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 import os
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..circuit import Circuit
@@ -96,6 +96,16 @@ class GreedyConfig:
     prepass_backtrack_limit:
         PODEM backtrack budget per fault during the prepass (aborted
         proofs count as not redundant).
+    engine:
+        Simulation engine: ``"compiled"`` (whole-netlist compiled
+        kernel, the default) or ``"python"`` (per-gate
+        :class:`~repro.simulation.logicsim.LogicSimulator` walk).
+        ``None`` / ``"auto"`` consult the ``REPRO_ENGINE`` environment
+        variable.  The resolved concrete value is what gets journaled,
+        so a checkpoint resume adopts the original run's engine no
+        matter the resuming process's environment.  Both engines are
+        bit-identical (pinned by the golden equivalence suite); the
+        flag exists for cross-checking and as an escape hatch.
     """
 
     fom: str = "area_per_rs"
@@ -112,6 +122,7 @@ class GreedyConfig:
     pow2_es: bool = False
     redundancy_prepass: bool = False
     prepass_backtrack_limit: int = 500
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -240,8 +251,14 @@ def circuit_simplify(
     :mod:`repro.parallel.checkpoint`.
     """
     from ..parallel.pool import resolve_workers
+    from ..simulation.compiled import resolve_engine
 
     cfg = config or GreedyConfig()
+    # Resolve the engine to a concrete value up front: the journaled
+    # config must name the engine actually used (a resume adopts it
+    # regardless of the resuming process's REPRO_ENGINE), and the
+    # config-match check below compares resolved against resolved.
+    cfg = replace(cfg, engine=resolve_engine(cfg.engine))
     if (rs_threshold is None) == (rs_pct_threshold is None):
         raise ValueError("give exactly one of rs_threshold / rs_pct_threshold")
     maximum = rs_max(circuit)
@@ -270,6 +287,9 @@ def circuit_simplify(
         if state is not None:
             if config is None:
                 cfg = greedy_config_from(state.config)
+                # Checkpoints written before the engine flag existed
+                # journal no engine: resolve the default for them.
+                cfg = replace(cfg, engine=resolve_engine(cfg.engine))
             else:
                 _check_config_matches(cfg, state)
             state.validate_threshold(threshold)
@@ -324,7 +344,12 @@ def circuit_simplify(
         exhaustive=cfg.exhaustive,
         atpg_node_limit=cfg.atpg_node_limit,
         obs=obs,
+        engine=cfg.engine,
     )
+    if estimator.engine != cfg.engine:
+        # Compile fallback: record the engine actually in effect so the
+        # journal (and any resume) reflects reality.
+        cfg = replace(cfg, engine=estimator.engine)
     result = GreedyResult(
         original=circuit,
         simplified=circuit.copy(),
@@ -759,7 +784,7 @@ def _apply_redundancy_prepass(
     screen_vecs = random_vectors(
         len(current.inputs), 256, np.random.default_rng(cfg.seed + 7)
     )
-    fsim = FaultSimulator(current, obs=estimator.obs)
+    fsim = FaultSimulator(current, obs=estimator.obs, engine=cfg.engine)
     survivors = []
     for rep, members in classes.members.items():
         d = fsim.differential(screen_vecs, [rep])

@@ -12,6 +12,16 @@ from .vectors import (
     vectors_from_ints,
 )
 from .logicsim import LogicSimulator, SimResult
+from .compiled import (
+    ENGINE_ENV,
+    ENGINES,
+    CompiledProgram,
+    CompiledSimulator,
+    circuit_fingerprint,
+    compile_program,
+    make_simulator,
+    resolve_engine,
+)
 from .faultsim import DifferentialResult, FaultSimulator
 from .batchfaultsim import BatchFaultSimulator, FaultBatchStats
 from . import fivevalue
@@ -19,6 +29,14 @@ from . import fivevalue
 __all__ = [
     "LogicSimulator",
     "SimResult",
+    "CompiledProgram",
+    "CompiledSimulator",
+    "ENGINE_ENV",
+    "ENGINES",
+    "circuit_fingerprint",
+    "compile_program",
+    "make_simulator",
+    "resolve_engine",
     "FaultSimulator",
     "DifferentialResult",
     "BatchFaultSimulator",

@@ -54,6 +54,7 @@ from ..circuit.netlist import CircuitError
 from ..circuit.structure import fanout_cone_gates
 from ..faults.model import Line, StuckAtFault
 from ..obs.core import Instrumentation, get_active
+from .compiled import CORE_PAD, eval_core_group, lower_entry, make_simulator
 from .logicsim import LogicSimulator, SimResult, _eval_into
 from .vectors import pack_vectors, popcount_words, tail_mask, unpack_vectors
 
@@ -223,6 +224,16 @@ class BatchFaultSimulator:
     explicitly lets :class:`~repro.metrics.estimate.MetricsEstimator`
     pair a simplified netlist's outputs positionally with the original's
     weights.
+
+    ``engine`` selects the simulation kernel
+    (:func:`repro.simulation.compiled.resolve_engine` semantics).  The
+    compiled engine runs the baseline through the whole-netlist
+    compiled program and replays cones as level-sliced core groups --
+    same-level gates of *any* type merge into at most three padded
+    bitwise passes on the shared value matrix.  Detection, deviation,
+    chunking and early-drop logic are engine-independent, so both
+    engines produce bit-identical stats (including the dropped/
+    words_simulated bookkeeping).
     """
 
     def __init__(
@@ -232,10 +243,11 @@ class BatchFaultSimulator:
         value_outputs: Optional[Sequence[str]] = None,
         weights: Optional[Sequence[int]] = None,
         obs: Optional[Instrumentation] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.obs = obs if obs is not None else get_active()
-        self.sim = LogicSimulator(circuit)
+        self.sim, self.engine = make_simulator(circuit, engine, self.obs)
         self.observe_outputs = tuple(observe_outputs or circuit.outputs)
         if value_outputs is not None:
             self.value_outputs = tuple(value_outputs)
@@ -414,7 +426,20 @@ class BatchFaultSimulator:
         return plan
 
     def _group_entries(self, gates: Sequence[str]) -> Tuple[Tuple, ...]:
-        """Bucket cone gates by (level, type, arity) for vector replay."""
+        """Bucket cone gates into vectorized replay groups.
+
+        The python engine buckets by ``(level, type, arity)`` (gates of
+        one group share a single typed numpy call); the compiled engine
+        buckets by ``(level, core)`` -- all same-level gates lowering to
+        the same bitwise core merge into one padded group regardless of
+        type or arity, executed by
+        :func:`repro.simulation.compiled.eval_core_group` against the
+        constant rows of the compiled value matrix.  Either way a
+        singleton bucket stays a scalar entry (basic row slicing beats
+        the gather/scatter machinery for one gate).
+        """
+        if self.engine == "compiled":
+            return self._group_entries_compiled(gates)
         buckets: Dict[Tuple[int, GateType, int], List[Tuple[int, Tuple[int, ...]]]] = {}
         for g in gates:
             gtype, out_idx, in_idx = self._entry_of[g]
@@ -441,6 +466,45 @@ class BatchFaultSimulator:
             else:
                 in_rows = np.empty((0, len(ents)), dtype=np.intp)
             groups.append((gtype, out_rows, in_rows))
+        return tuple(groups)
+
+    def _group_entries_compiled(self, gates: Sequence[str]) -> Tuple[Tuple, ...]:
+        """Compiled-engine grouping: (level, core) buckets, arity-padded.
+
+        Emits 4-tuples ``(core, out_rows, in_rows, inv)`` next to the
+        scalar 3-tuples; ``_evaluate_one`` dispatches on tuple length.
+        """
+        from ..circuit.gates import ALL_ONES
+
+        buckets: Dict[Tuple[int, int], List[Tuple]] = {}
+        for g in gates:
+            gtype, out_idx, in_idx = self._entry_of[g]
+            core, invert, ins = lower_entry(gtype, in_idx)
+            buckets.setdefault((self._level[g], core), []).append(
+                (gtype, out_idx, in_idx, ins, invert)
+            )
+        groups: List[Tuple] = []
+        for lvl, core in sorted(buckets):
+            ents = buckets[(lvl, core)]
+            if len(ents) == 1:
+                gtype, out_idx, in_idx, _ins, _inv = ents[0]
+                groups.append((gtype, out_idx, in_idx))
+                continue
+            arity = max(len(ins) for _g, _o, _i, ins, _v in ents)
+            pad = CORE_PAD[core]
+            out_rows = np.asarray([o for _g, o, _i, _ins, _v in ents], dtype=np.intp)
+            in_rows = np.empty((arity, len(ents)), dtype=np.intp)
+            for col, (_g, _o, _i, ins, _v) in enumerate(ents):
+                for j in range(arity):
+                    in_rows[j, col] = ins[j] if j < len(ins) else pad
+            if any(v for _g, _o, _i, _ins, v in ents):
+                inv = np.asarray(
+                    [[ALL_ONES if v else 0] for _g, _o, _i, _ins, v in ents],
+                    dtype=np.uint64,
+                )
+            else:
+                inv = None
+            groups.append((core, out_rows, in_rows, inv))
         return tuple(groups)
 
     # ------------------------------------------------------------------
@@ -530,7 +594,11 @@ class BatchFaultSimulator:
                     for pin, idx in enumerate(in_idx)
                 ]
                 _eval_into(gtype, operands, work[out_idx, sl], wlen)
-            for gtype, out_rows, in_rows in plan.groups:
+            for entry in plan.groups:
+                if len(entry) == 4:  # compiled-engine core group
+                    eval_core_group(entry[0], entry[1], entry[2], entry[3], work, sl)
+                    continue
+                gtype, out_rows, in_rows = entry
                 if type(out_rows) is int:
                     operands = [work[idx, sl] for idx in in_rows]
                     _eval_into(gtype, operands, work[out_rows, sl], wlen)

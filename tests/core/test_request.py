@@ -60,6 +60,7 @@ def test_greedy_config_mirror():
         pow2_es=True,
         redundancy_prepass=True,
         prepass_backtrack_limit=77,
+        engine="python",
     )
     cfg = req.greedy_config("area")
     assert cfg == GreedyConfig(
@@ -77,6 +78,7 @@ def test_greedy_config_mirror():
         pow2_es=True,
         redundancy_prepass=True,
         prepass_backtrack_limit=77,
+        engine="python",
     )
     # "best" is a policy, not a greedy FOM: it resolves to a real one
     assert req.greedy_config().fom == "area_per_rs"

@@ -14,10 +14,12 @@ import subprocess
 import sys
 import textwrap
 import time
+from dataclasses import replace
 
 import pytest
 
 from repro import GreedyConfig, circuit_simplify, dumps_bench
+from repro.simulation import resolve_engine
 from repro.obs import Instrumentation
 from repro.parallel import (
     CheckpointError,
@@ -139,7 +141,8 @@ def test_resume_from_adopts_checkpoint_config(adder, reference, tmp_path):
         _truncate_after_iterations(ckpt, 1)
     res = resume_from(adder, ckpt)  # no config given: header's is used
     _assert_identical(res, reference)
-    assert res.config == _CFG
+    # The header stores the *resolved* engine, which the resume adopts.
+    assert res.config == replace(_CFG, engine=resolve_engine(_CFG.engine))
 
 
 def test_resume_with_prepass_checkpoint(tmp_path):
@@ -363,3 +366,81 @@ def test_sigkill_and_resume_matches_uninterrupted(tmp_path):
     assert state.complete
     if killed:
         assert state.resumes == 1
+
+
+_CHILD_COMPILED = textwrap.dedent(
+    """
+    import sys
+    from repro import GreedyConfig, circuit_simplify
+    from repro.benchlib import ISCAS85_SUITE
+
+    ckpt = sys.argv[1]
+    circuit = ISCAS85_SUITE["c880"].builder()
+    cfg = GreedyConfig(num_vectors=1000, seed=0, candidate_limit=40,
+                       max_iterations=6, atpg_node_limit=400,
+                       engine="compiled")
+    circuit_simplify(circuit, rs_pct_threshold=2.0, config=cfg,
+                     checkpoint=ckpt)
+    """
+)
+
+
+def test_sigkill_compiled_run_resumes_with_journaled_engine(
+    tmp_path, monkeypatch
+):
+    """SIGKILL a compiled-engine run, then resume in an environment
+    that prefers the python engine: the resume must adopt the engine
+    recorded in the journal header (``compiled``) and still reproduce
+    the serial python-engine fault sequence -- the engines are
+    bit-identical, so the trajectory cannot depend on which one the
+    journal pins."""
+    from repro.benchlib import ISCAS85_SUITE
+    from repro.simulation.compiled import ENGINE_ENV
+
+    circuit = ISCAS85_SUITE["c880"].builder()
+    cfg = GreedyConfig(
+        num_vectors=1000, seed=0, candidate_limit=40,
+        max_iterations=6, atpg_node_limit=400, engine="python",
+    )
+    reference = circuit_simplify(circuit, rs_pct_threshold=2.0, config=cfg)
+    assert len(reference.iterations) >= 2, "need a multi-commit run to kill"
+
+    ckpt = tmp_path / "killed.jsonl"
+    script = tmp_path / "child.py"
+    script.write_text(_CHILD_COMPILED)
+    env = dict(os.environ)
+    env.pop(ENGINE_ENV, None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath("src"), env.get("PYTHONPATH")) if p
+    )
+    child = subprocess.Popen(
+        [sys.executable, str(script), str(ckpt)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.time() + 300
+        while time.time() < deadline:
+            if child.poll() is not None:
+                break  # finished before we could kill it -- still valid
+            if _iteration_events(ckpt) >= 1:
+                child.send_signal(signal.SIGKILL)
+                child.wait(timeout=30)
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("child neither progressed nor finished in time")
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    # resume with no config in a python-preferring environment: the
+    # journal header's resolved engine must win over REPRO_ENGINE
+    monkeypatch.setenv(ENGINE_ENV, "python")
+    resumed = resume_from(circuit, ckpt)
+    assert resumed.config.engine == "compiled"
+    _assert_identical(resumed, reference)
+    state = load_checkpoint(ckpt)
+    assert state.complete

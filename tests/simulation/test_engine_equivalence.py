@@ -1,0 +1,192 @@
+"""Golden equivalence suite: compiled engine vs python engine.
+
+The compiled whole-netlist kernel must be **bit-identical** to the
+per-gate python interpreter -- same packed words for every signal,
+same differential fault statistics (including drop decisions and
+``words_simulated`` bookkeeping), the same committed fault sequence,
+and the same final netlist when driving a full ``circuit_simplify``
+run.  Mirrors the serial-vs-parallel golden pattern in
+``tests/parallel/test_pool.py``: the python path is the reference, the
+compiled path must never be allowed to drift from it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GreedyConfig, SimplifyRequest, circuit_simplify, dumps_bench
+from repro.benchlib import ISCAS85_SUITE
+from repro.faults import StuckAtFault, enumerate_faults
+from repro.simulation import (
+    BatchFaultSimulator,
+    FaultSimulator,
+    LogicSimulator,
+    make_simulator,
+    random_vectors,
+)
+from tests.conftest import build_c17
+
+BENCHES = ("c17", "c880", "c1908")
+
+
+def _build(name):
+    if name == "c17":
+        return build_c17()
+    return ISCAS85_SUITE[name].builder()
+
+
+@pytest.fixture(scope="module", params=BENCHES)
+def bench(request):
+    return _build(request.param)
+
+
+def _sample_faults(circuit, rng, limit=60):
+    """Every fault on small circuits, a shuffled sample on large ones,
+    always keeping at least one stem, one branch and one PI fault."""
+    faults = list(enumerate_faults(circuit, include_branches=True))
+    if len(faults) <= limit:
+        return faults
+    idx = rng.permutation(len(faults))[:limit]
+    sample = [faults[i] for i in idx]
+    sample.append(next(f for f in faults if f.line.is_branch))
+    sample.append(next(f for f in faults if f.line.is_stem))
+    sample.append(
+        next(f for f in faults if f.line.is_stem and circuit.is_input(f.line.signal))
+    )
+    return sample
+
+
+def test_good_sim_words_identical(bench):
+    """Good-value simulation: every signal, word-for-word equal."""
+    rng = np.random.default_rng(7)
+    vectors = random_vectors(len(bench.inputs), 130, rng)  # ragged 3rd word
+    py = LogicSimulator(bench).run(vectors)
+    compiled, engine = make_simulator(bench, "compiled")
+    assert engine == "compiled"
+    cm = compiled.run(vectors)
+    for s in bench.signals():
+        assert np.array_equal(py.words_for(s), cm.words_for(s)), s
+
+
+def test_single_fault_sim_identical(bench):
+    """Faulty-value simulation: stems, branches, PI faults."""
+    rng = np.random.default_rng(11)
+    vectors = random_vectors(len(bench.inputs), 130, rng)
+    py = LogicSimulator(bench)
+    compiled, _ = make_simulator(bench, "compiled")
+    for fault in _sample_faults(bench, rng):
+        a = py.run(vectors, [fault])
+        b = compiled.run(vectors, [fault])
+        for o in bench.outputs:
+            assert np.array_equal(a.words_for(o), b.words_for(o)), fault
+
+
+def test_multi_fault_sim_identical(bench):
+    """Several simultaneous faults (the committed-set replay case)."""
+    rng = np.random.default_rng(13)
+    vectors = random_vectors(len(bench.inputs), 200, rng)
+    faults = _sample_faults(bench, rng, limit=40)[:7]
+    py = LogicSimulator(bench).run(vectors, faults)
+    compiled, _ = make_simulator(bench, "compiled")
+    cm = compiled.run(vectors, faults)
+    for s in bench.signals():
+        assert np.array_equal(py.words_for(s), cm.words_for(s)), s
+
+
+def test_differential_fault_sim_identical(bench):
+    """FaultSimulator: ER, deviations and detection masks match."""
+    rng = np.random.default_rng(17)
+    vectors = random_vectors(len(bench.inputs), 130, rng)
+    py = FaultSimulator(bench, engine="python")
+    cm = FaultSimulator(bench, engine="compiled")
+    assert (py.engine, cm.engine) == ("python", "compiled")
+    for fault in _sample_faults(bench, rng, limit=25):
+        a = py.differential(vectors, [fault])
+        b = cm.differential(vectors, [fault])
+        assert a.error_rate == b.error_rate, fault
+        assert a.max_abs_deviation == b.max_abs_deviation, fault
+        assert a.deviations == b.deviations, fault
+        assert np.array_equal(a.detected, b.detected), fault
+
+
+def test_batch_ppsfp_identical(bench):
+    """PPSFP batch evaluation: full stats for every enumerated fault."""
+    rng = np.random.default_rng(19)
+    vectors = random_vectors(len(bench.inputs), 130, rng)
+    faults = _sample_faults(bench, rng, limit=80)
+    stats = {}
+    for engine in ("python", "compiled"):
+        batch = BatchFaultSimulator(bench, engine=engine)
+        assert batch.engine == engine
+        batch.load_batch(vectors)
+        stats[engine] = batch.evaluate(faults, detailed=True)
+    for f, a, b in zip(faults, stats["python"], stats["compiled"]):
+        assert a.error_rate == b.error_rate, f
+        assert a.max_abs_deviation == b.max_abs_deviation, f
+        assert a.deviations == b.deviations, f
+        assert np.array_equal(a.detected, b.detected), f
+
+
+def test_batch_fault_dropping_identical(bench):
+    """Drop decisions happen at the same word for both engines."""
+    rng = np.random.default_rng(23)
+    vectors = random_vectors(len(bench.inputs), 300, rng)
+    faults = _sample_faults(bench, rng, limit=40)
+    results = {}
+    for engine in ("python", "compiled"):
+        batch = BatchFaultSimulator(bench, engine=engine)
+        batch.load_batch(vectors)
+        results[engine] = batch.evaluate(
+            faults, rs_drop_threshold=0.5, chunk_words=1
+        )
+    for f, a, b in zip(faults, results["python"], results["compiled"]):
+        assert a.dropped == b.dropped, f
+        assert a.words_simulated == b.words_simulated, f
+        assert a.detected_count == b.detected_count, f
+        assert a.max_abs_deviation == b.max_abs_deviation, f
+
+
+def _run_both(circuit, **cfg_kw):
+    out = {}
+    for engine in ("python", "compiled"):
+        cfg = GreedyConfig(engine=engine, **cfg_kw)
+        out[engine] = circuit_simplify(circuit, rs_pct_threshold=10.0, config=cfg)
+    return out["python"], out["compiled"]
+
+
+@pytest.mark.parametrize("name", ["c17", "c880"])
+def test_end_to_end_simplify_identical(name):
+    """Full greedy runs commit the identical fault sequence and reach
+    the identical final netlist and metrics under either engine."""
+    circuit = _build(name)
+    kw = dict(num_vectors=400, seed=0, candidate_limit=25, max_iterations=3)
+    if name == "c17":
+        kw = dict(num_vectors=400, seed=0, exhaustive=True)
+    py, cm = _run_both(circuit, **kw)
+    assert (py.config.engine, cm.config.engine) == ("python", "compiled")
+    assert [str(f) for f in py.faults] == [str(f) for f in cm.faults]
+    assert dumps_bench(py.simplified) == dumps_bench(cm.simplified)
+    assert py.final_metrics.er == cm.final_metrics.er
+    assert py.final_metrics.rs == cm.final_metrics.rs
+    assert len(py.iterations) == len(cm.iterations)
+    for a, b in zip(py.iterations, cm.iterations):
+        assert str(a.fault) == str(b.fault)
+        assert a.metrics.er == b.metrics.er
+        assert a.area_after == b.area_after
+
+
+def test_simplify_outcome_identical_via_request():
+    """The SimplifyRequest surface: same outcome under both engines."""
+    circuit = build_c17()
+    outcomes = {}
+    for engine in ("python", "compiled"):
+        req = SimplifyRequest(
+            rs_pct_threshold=10.0, fom="area", num_vectors=400, seed=0,
+            exhaustive=True, engine=engine,
+        )
+        outcomes[engine] = req.run(circuit)
+    py, cm = outcomes["python"], outcomes["compiled"]
+    assert [str(f) for f in py.faults] == [str(f) for f in cm.faults]
+    assert dumps_bench(py.simplified) == dumps_bench(cm.simplified)
+    assert py.area_reduction == cm.area_reduction
+    assert py.final_metrics.rs == cm.final_metrics.rs
+    assert py.winning_fom == cm.winning_fom
