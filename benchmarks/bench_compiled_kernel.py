@@ -7,7 +7,12 @@ with both engines producing bit-identical results (enforced by
 * whole-netlist good-value simulation throughput,
 * greedy phase-2 candidate ranking (``MetricsEstimator.simulate_faults``
   over the real greedy shortlist),
-* an end-to-end ``circuit_simplify`` run.
+* an end-to-end ``circuit_simplify`` run,
+* background-telemetry sampling overhead on an end-to-end run.
+
+Every row also records process RSS after each engine's timed runs plus
+the run-wide peak, so ``repro trends`` can flag memory regressions
+alongside the timing ones.
 
 Rows land in ``bench_results.txt`` and machine-readably in
 ``BENCH_compiled_kernel.json`` (consumed by ``repro trends`` in CI).
@@ -22,6 +27,7 @@ import pytest
 from repro.benchlib import ISCAS85_SUITE
 from repro.faults import enumerate_faults
 from repro.metrics import MetricsEstimator
+from repro.obs.telemetry import peak_rss_bytes, sample_rss_bytes
 from repro.simplify import GreedyConfig, circuit_simplify, preview_area_reduction
 from repro.simulation import LogicSimulator, make_simulator, random_vectors
 
@@ -38,6 +44,18 @@ def _timeit(fn, rounds=ROUNDS):
     for _ in range(rounds):
         fn()
     return (time.perf_counter() - t0) / rounds
+
+
+def _rss_mb():
+    return round(sample_rss_bytes() / 1e6, 1)
+
+
+def _rss_fields(rss_python_mb, rss_compiled_mb):
+    return {
+        "rss_python_mb": rss_python_mb,
+        "rss_compiled_mb": rss_compiled_mb,
+        "rss_peak_mb": round(peak_rss_bytes() / 1e6, 1),
+    }
 
 
 def greedy_shortlist(circuit, limit):
@@ -68,7 +86,9 @@ def test_good_sim_throughput(name, benchmark, bench_rows, bench_json):
         assert np.array_equal(a.words_for(o), b.words_for(o))
 
     t_py = _timeit(lambda: py.run(vectors))
+    rss_py = _rss_mb()
     t_cm = _timeit(lambda: cm.run(vectors))
+    rss_cm = _rss_mb()
     benchmark.pedantic(lambda: cm.run(vectors), rounds=1, iterations=1)
     speedup = t_py / t_cm
     bench_rows.append(
@@ -85,6 +105,7 @@ def test_good_sim_throughput(name, benchmark, bench_rows, bench_json):
             "t_python_ms": round(t_py * 1e3, 3),
             "t_compiled_ms": round(t_cm * 1e3, 3),
             "speedup": round(speedup, 2),
+            **_rss_fields(rss_py, rss_cm),
         }
     )
 
@@ -108,7 +129,9 @@ def test_candidate_ranking_speedup(name, benchmark, bench_rows, bench_json):
         assert a.max_abs_deviation == b.max_abs_deviation
 
     t_py = _timeit(lambda: est["python"].simulate_faults(faults, approx=circuit))
+    rss_py = _rss_mb()
     t_cm = _timeit(lambda: est["compiled"].simulate_faults(faults, approx=circuit))
+    rss_cm = _rss_mb()
     benchmark.pedantic(
         lambda: est["compiled"].simulate_faults(faults, approx=circuit),
         rounds=1,
@@ -130,6 +153,7 @@ def test_candidate_ranking_speedup(name, benchmark, bench_rows, bench_json):
             "t_python_ms": round(t_py * 1e3, 3),
             "t_compiled_ms": round(t_cm * 1e3, 3),
             "speedup": round(speedup, 2),
+            **_rss_fields(rss_py, rss_cm),
         }
     )
 
@@ -154,7 +178,9 @@ def test_end_to_end_simplify(name, benchmark, bench_rows, bench_json):
         return time.perf_counter() - t0, res
 
     t_py, res_py = run("python")
+    rss_py = _rss_mb()
     t_cm, res_cm = run("compiled")
+    rss_cm = _rss_mb()
     assert [str(f) for f in res_py.faults] == [str(f) for f in res_cm.faults]
     benchmark.pedantic(lambda: run("compiled"), rounds=1, iterations=1)
     speedup = t_py / t_cm
@@ -172,5 +198,67 @@ def test_end_to_end_simplify(name, benchmark, bench_rows, bench_json):
             "t_python_s": round(t_py, 3),
             "t_compiled_s": round(t_cm, 3),
             "speedup": round(speedup, 2),
+            **_rss_fields(rss_py, rss_cm),
         }
     )
+
+
+def test_telemetry_overhead(benchmark, bench_rows, bench_json):
+    """Sampled RSS/CPU telemetry must stay in the noise (<2% target).
+
+    Times a bounded compiled-engine ``circuit_simplify`` on c5315 with
+    and without a 50ms background sampler.  The assertion bound is
+    deliberately loose (10%) so CI jitter can't flake the job; the
+    measured number lands in the bench JSON for ``repro trends``.
+    """
+    circuit = ISCAS85_SUITE["c5315"].builder()
+    iters = 10 if FULL else 6
+
+    def run(telemetry_interval):
+        cfg = GreedyConfig(
+            num_vectors=NUM_VECTORS,
+            seed=0,
+            candidate_limit=60,
+            max_iterations=iters,
+            atpg_node_limit=400,
+            engine="compiled",
+        )
+        t0 = time.perf_counter()
+        circuit_simplify(
+            circuit,
+            rs_pct_threshold=2.0,
+            config=cfg,
+            telemetry_interval=telemetry_interval,
+        )
+        return time.perf_counter() - t0
+
+    run(None)  # warm caches so both timed variants see the same state
+    # Interleave the variants: run-to-run drift (allocator growth, cache
+    # state) then lands on both sides instead of being read as overhead.
+    plain_times, tel_times = [], []
+    for _ in range(ROUNDS + 1):
+        plain_times.append(run(None))
+        tel_times.append(run(0.05))
+    t_plain = sorted(plain_times)[len(plain_times) // 2]
+    t_tel = sorted(tel_times)[len(tel_times) // 2]
+    benchmark.pedantic(lambda: run(0.05), rounds=1, iterations=1)
+    overhead_pct = (t_tel / t_plain - 1.0) * 100.0
+    bench_rows.append(
+        f"KERNEL-TEL c5315  50ms sampler: plain={t_plain:6.2f}s  "
+        f"telemetry={t_tel:6.2f}s  overhead={overhead_pct:+.1f}%"
+    )
+    bench_json["compiled_kernel"].append(
+        {
+            "bench": "telemetry_overhead",
+            "circuit": "c5315",
+            "iterations": iters,
+            "num_vectors": NUM_VECTORS,
+            "full_profile": FULL,
+            "interval_s": 0.05,
+            "t_plain_s": round(t_plain, 3),
+            "t_telemetry_s": round(t_tel, 3),
+            "overhead_pct": round(overhead_pct, 2),
+            "rss_peak_mb": round(peak_rss_bytes() / 1e6, 1),
+        }
+    )
+    assert overhead_pct < 10.0

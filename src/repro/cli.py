@@ -6,7 +6,12 @@ file extension) and on the built-in benchmark suite:
 
 * ``stats``      -- netlist statistics and datapath/control profile
 * ``simplify``   -- RS-budgeted simplification of a netlist
-* ``report``     -- profiling view over a run journal (JSONL or JSON)
+* ``report``     -- profiling view over a run journal (text, JSON, or
+  OpenMetrics/Prometheus exposition via ``--format openmetrics``)
+* ``profile``    -- self-time attribution over a run journal: exclusive
+  time per span, wall-clock attribution coverage (flags unattributed
+  time), kernel bytes-moved throughput, the sampled peak-RSS timeline
+  and per-worker utilization (needs a run with ``--telemetry-interval``)
 * ``compare``    -- iteration-by-iteration diff of two run journals
 * ``audit``      -- estimator-calibration / RS-budget audit of a run
   journal: predicted vs. realized deltas per committed fault, Wilson
@@ -27,10 +32,13 @@ genuinely silences everything below WARNING.  ``simplify`` and
 ``table2`` accept ``--journal PATH`` to stream a structured JSONL run
 journal and ``--profile`` to dump the phase-time / counter breakdown
 after the run; ``simplify`` additionally takes ``--trace PATH`` (Chrome
-trace export, Perfetto-loadable, per-worker lanes) and
-``--progress PATH`` (atomic machine-readable heartbeat; a live TTY
-stderr line appears automatically when stderr is a terminal and
-``--quiet`` is not set); ``report`` renders the journal view later.
+trace export, Perfetto-loadable, per-worker lanes),
+``--progress PATH`` (atomic machine-readable heartbeat plus a
+``telemetry.prom`` OpenMetrics drop next to it; a live TTY stderr line
+appears automatically when stderr is a terminal and ``--quiet`` is not
+set) and ``--telemetry-interval SECONDS`` (background RSS/CPU/
+throughput sampling into the journal); ``report`` and ``profile``
+render the journal views later.
 
 Output netlists are written in the format implied by the output path's
 extension.
@@ -176,6 +184,13 @@ def _add_live_obs_options(p: argparse.ArgumentParser) -> None:
                    metavar="SECONDS",
                    help="minimum seconds between progress snapshots "
                         "(default 2)")
+    p.add_argument("--telemetry-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="sample RSS/CPU/throughput every SECONDS into the "
+                        "journal (v4 telemetry events; workers report one "
+                        "sample per scored shard); render with "
+                        "`repro profile` or `repro report --format "
+                        "openmetrics`")
 
 
 def _load_weighted(path: str, weights: str):
@@ -250,13 +265,25 @@ def cmd_simplify(args: argparse.Namespace) -> int:
     # snapshot is machine-facing and is written either way.
     heartbeat = sys.stderr.isatty() and not args.quiet
     progress = None
+    prom_path = None
+    if args.progress:
+        # The OpenMetrics drop lives next to progress.json so a
+        # textfile collector scrapes one directory.
+        prom_path = str(Path(args.progress).absolute().with_name("telemetry.prom"))
     if args.progress or heartbeat:
         progress = ProgressReporter(
             stream=sys.stderr if heartbeat else None,
             json_path=args.progress,
             interval_s=args.progress_interval,
+            prom_path=prom_path,
         )
-    request = SimplifyRequest.from_cli_args(args)
+    try:
+        request = SimplifyRequest.from_cli_args(args)
+    except ValueError as exc:
+        logger.error(str(exc))
+        if progress is not None:
+            progress.close()
+        return 2
     try:
         outcome = request.run(circuit, obs=obs, progress=progress)
     except CheckpointError as exc:
@@ -276,6 +303,7 @@ def cmd_simplify(args: argparse.Namespace) -> int:
         logger.info(f"chrome trace written to {args.trace} ({spans} spans)")
     if args.progress:
         logger.info(f"progress snapshot written to {args.progress}")
+        logger.info(f"openmetrics snapshot written to {prom_path}")
     if args.profile and obs is not None:
         logger.info("\n" + render_snapshot(obs.snapshot()))
     if args.output:
@@ -286,16 +314,20 @@ def cmd_simplify(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     try:
-        if args.format == "json":
-            from .obs import load_journal, report_as_dict
+        if args.format in ("json", "openmetrics"):
+            from .obs import journal_openmetrics, load_journal, report_as_dict
 
-            events = load_journal(args.journal)
+            events = load_journal(args.journal, skip_unknown=True)
             if not events:
                 raise JournalError(f"{args.journal}: empty journal")
-            logger.info(
-                json.dumps(report_as_dict(events, top_k=args.top),
-                           indent=2, sort_keys=True)
-            )
+            if args.format == "json":
+                logger.info(
+                    json.dumps(report_as_dict(events, top_k=args.top),
+                               indent=2, sort_keys=True)
+                )
+            else:
+                # rstrip: logger.info appends the final newline itself.
+                logger.info(journal_openmetrics(events).rstrip("\n"))
         else:
             logger.info(report_from_file(args.journal, top_k=args.top))
     except FileNotFoundError:
@@ -304,6 +336,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     except JournalError as exc:
         logger.error(str(exc))
         return 2
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import profile_events, render_profile
+    from .obs.journal import load_journal
+
+    try:
+        events = load_journal(args.journal, skip_unknown=True)
+        if not events:
+            raise JournalError(f"{args.journal}: empty journal")
+        profile = profile_events(events, top=args.top)
+    except FileNotFoundError:
+        logger.error(f"no such journal: {args.journal}")
+        return 2
+    except JournalError as exc:
+        logger.error(str(exc))
+        return 2
+    if args.format == "json":
+        logger.info(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        logger.info(render_profile(profile))
+    if args.fail_on_unattributed and profile["attribution"]["flagged"]:
+        return 3
     return 0
 
 
@@ -554,9 +610,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("journal", help="journal JSONL path from --journal")
     p.add_argument("--top", type=int, default=12,
                    help="counters to show in the hotspot table (default 12)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   help="render as human text (default) or machine JSON")
+    p.add_argument("--format", choices=["text", "json", "openmetrics"],
+                   default="text",
+                   help="render as human text (default), machine JSON, or "
+                        "OpenMetrics/Prometheus text exposition")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("profile",
+                       help="self-time attribution over a run journal "
+                            "(exclusive span times, wall-clock coverage, "
+                            "kernel throughput, RSS timeline, worker "
+                            "utilization)")
+    p.add_argument("journal", help="journal JSONL path from --journal")
+    p.add_argument("--top", type=int, default=12,
+                   help="span rows in the self-time table (default 12)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--fail-on-unattributed", action="store_true",
+                   help="exit 3 when top-level spans explain less than "
+                        "90%% of the run's wall time")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compare",
                        help="diff two run journals iteration-by-iteration")

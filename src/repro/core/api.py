@@ -104,7 +104,9 @@ class SimplifyRequest:
     :func:`repro.parallel.resolve_workers`); ``checkpoint`` journals
     every committed step so a killed run resumes bit-identically
     (:mod:`repro.parallel.checkpoint`); ``journal`` streams the same
-    events to a separate observability file.
+    events to a separate observability file; ``telemetry_interval``
+    switches on the background RSS/CPU/throughput sampler
+    (:mod:`repro.obs.telemetry`) at that many seconds per sample.
 
     The request serializes to JSON (:meth:`to_json` /
     :meth:`from_json`) so a run's full configuration can be stored
@@ -132,6 +134,7 @@ class SimplifyRequest:
     workers: Optional[int] = None
     checkpoint: Optional[str] = None
     journal: Optional[str] = None
+    telemetry_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.rs_threshold is None) == (self.rs_pct_threshold is None):
@@ -154,6 +157,8 @@ class SimplifyRequest:
             )
         if self.num_vectors <= 0:
             raise ValueError("num_vectors must be positive")
+        if self.telemetry_interval is not None and self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive seconds")
 
     # ------------------------------------------------------------------
     # construction
@@ -190,6 +195,7 @@ class SimplifyRequest:
             workers=getattr(args, "workers", None),
             checkpoint=getattr(args, "checkpoint", None),
             journal=getattr(args, "journal", None),
+            telemetry_interval=getattr(args, "telemetry_interval", None),
         )
 
     @classmethod
@@ -369,6 +375,7 @@ def simplify(
             workers=request.workers,
             checkpoint=_per_fom_path(request.checkpoint, fom, foms),
             progress=progress,
+            telemetry_interval=request.telemetry_interval,
         )
         runs.append((fom, result))
         if len(foms) > 1 and fom != foms[-1] and _budget_exhausted(result, threshold):

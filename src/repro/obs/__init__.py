@@ -12,7 +12,13 @@ live heartbeat (TTY line + atomic ``progress.json``);
 regression gate.  ``repro.obs.quality`` (DESIGN.md §10) is the
 statistical-quality layer: Wilson-score confidence intervals for
 sampled ER estimates, per-iteration estimator-calibration events, and
-the ``repro audit`` provenance trail.
+the ``repro audit`` provenance trail.  ``repro.obs.telemetry``
+(DESIGN.md §12) is the background resource sampler (RSS/CPU/throughput
+lanes feeding journal-v4 ``telemetry`` events and trace counter
+tracks); ``repro.obs.profile`` renders the ``repro profile`` self-time
+attribution view; ``repro.obs.metrics_export`` is the
+OpenMetrics/Prometheus text surface (``repro report --format
+openmetrics`` and the heartbeat's ``telemetry.prom``).
 """
 
 from .compare import compare_files, compare_runs, render_compare
@@ -34,6 +40,17 @@ from .journal import (
     read_journal,
     validate_event,
 )
+from .metrics_export import (
+    journal_openmetrics,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from .profile import (
+    ATTRIBUTION_TARGET_PCT,
+    profile_events,
+    profile_from_file,
+    render_profile,
+)
 from .progress import ProgressReporter
 from .quality import (
     DEFAULT_Z,
@@ -46,10 +63,19 @@ from .quality import (
     wilson_interval,
 )
 from .report import (
+    collect_counters,
+    collect_gauges,
+    collect_timers,
     render_report,
     render_snapshot,
     report_as_dict,
     report_from_file,
+)
+from .telemetry import (
+    TelemetryMonitor,
+    cpu_seconds,
+    sample_rss_bytes,
+    worker_sample,
 )
 from .trace import TraceRecorder, to_chrome_trace, write_chrome_trace
 from .trends import (
@@ -79,10 +105,24 @@ __all__ = [
     "render_snapshot",
     "report_as_dict",
     "report_from_file",
+    "collect_timers",
+    "collect_counters",
+    "collect_gauges",
     "TraceRecorder",
     "to_chrome_trace",
     "write_chrome_trace",
     "ProgressReporter",
+    "TelemetryMonitor",
+    "sample_rss_bytes",
+    "cpu_seconds",
+    "worker_sample",
+    "render_openmetrics",
+    "journal_openmetrics",
+    "validate_openmetrics",
+    "ATTRIBUTION_TARGET_PCT",
+    "profile_events",
+    "profile_from_file",
+    "render_profile",
     "compare_runs",
     "compare_files",
     "render_compare",

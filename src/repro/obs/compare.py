@@ -53,8 +53,8 @@ def compare_files(
     path_b: Union[str, os.PathLike],
 ) -> Dict:
     """Load two journal files and compare them (see :func:`compare_runs`)."""
-    events_a = load_journal(path_a)
-    events_b = load_journal(path_b)
+    events_a = load_journal(path_a, skip_unknown=True)
+    events_b = load_journal(path_b, skip_unknown=True)
     if not events_a:
         raise JournalError(f"{path_a}: empty journal")
     if not events_b:

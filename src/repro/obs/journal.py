@@ -46,12 +46,25 @@ although the point estimate did not).  ``repro audit`` renders these;
 v2 journals (no calibration events) still load everywhere, with the
 calibration view degrading to CI bands recomputed from the journaled
 ER and batch size.
+
+Version 4 adds resource telemetry (:mod:`repro.obs.telemetry`):
+``telemetry`` events are periodic samples -- RSS bytes, cumulative CPU
+seconds, and derived throughput gauges -- recorded by a background
+monitor thread into the same stream (coordinator lane) and merged from
+the scoring workers (one lane per worker pid).  Because the sampler is
+a thread, :meth:`RunJournal.emit` serializes concurrent emitters under
+a lock; the one-write-per-line durability contract is unchanged.
+Readers that only understand older event sets pass
+``skip_unknown=True`` to :func:`read_journal` / :func:`load_journal`
+(``report``/``compare``/``audit`` do), so future event types degrade
+gracefully instead of erroring.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import IO, Dict, Iterator, List, Optional, Union
 
 __all__ = [
@@ -65,7 +78,7 @@ __all__ = [
     "truncate_torn_tail",
 ]
 
-JOURNAL_VERSION = 3
+JOURNAL_VERSION = 4
 
 #: Required keys per event type.  ``iteration`` deliberately does not
 #: require ``phase_times``/``counters``/``fault_detail`` -- they are
@@ -123,6 +136,14 @@ REQUIRED_KEYS: Dict[str, tuple] = {
         "replayed_iterations",
         "area",
         "rs",
+    ),
+    "telemetry": (
+        "event",
+        "t_s",
+        "pid",
+        "lane",
+        "rss_bytes",
+        "cpu_s",
     ),
     "summary": (
         "event",
@@ -197,26 +218,32 @@ class RunJournal:
         mode = "a" if append else "w"
         self._fh: Optional[IO[str]] = open(self.path, mode, encoding="utf-8")
         self.events_written = 0
+        # The telemetry monitor emits from a background thread while the
+        # greedy loop emits from the main thread; the lock keeps each
+        # line's write+flush atomic against the other emitter.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def emit(self, event: Dict) -> None:
         """Validate, serialize and durably append one event line."""
-        if self._fh is None:
-            raise JournalError(f"journal {self.path} is closed")
         validate_event(event)
         line = json.dumps(event, separators=(",", ":"), sort_keys=True, default=_jsonify)
-        # One write call for the complete line, then flush: an interrupt
-        # between events never tears a line.
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        if self._fsync:
-            os.fsync(self._fh.fileno())
-        self.events_written += 1
+        with self._lock:
+            if self._fh is None:
+                raise JournalError(f"journal {self.path} is closed")
+            # One write call for the complete line, then flush: an
+            # interrupt between events never tears a line.
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+            self.events_written += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     @property
     def closed(self) -> bool:
@@ -243,6 +270,7 @@ def read_journal(
     path: Union[str, os.PathLike],
     strict: bool = False,
     validate: bool = True,
+    skip_unknown: bool = False,
 ) -> Iterator[Dict]:
     """Yield the parsed events of a journal file in order.
 
@@ -251,6 +279,13 @@ def read_journal(
     any other malformed or mid-file garbage line raises
     :class:`JournalError` either way, because it means the file is not
     a journal prefix but a corrupted stream.
+
+    ``skip_unknown=True`` silently drops well-formed events whose type
+    this build has never heard of (the forward-compat contract for the
+    analysis readers: a v5 journal's new event types degrade to "not
+    shown" in ``report``/``compare``/``audit`` instead of erroring).
+    Version-carrying events are still version-checked -- a journal a
+    *newer schema* wrote is rejected with a clear error either way.
     """
     with open(os.fspath(path), "r", encoding="utf-8") as fh:
         raw = fh.read()
@@ -264,6 +299,12 @@ def read_journal(
         is_last = i == len(lines) - 1
         try:
             event = json.loads(line)
+            if (
+                skip_unknown
+                and isinstance(event, dict)
+                and event.get("event") not in REQUIRED_KEYS
+            ):
+                continue
             if validate:
                 validate_event(event)
         except (json.JSONDecodeError, JournalError) as exc:
@@ -277,9 +318,14 @@ def load_journal(
     path: Union[str, os.PathLike],
     strict: bool = False,
     validate: bool = True,
+    skip_unknown: bool = False,
 ) -> List[Dict]:
     """Eager list form of :func:`read_journal`."""
-    return list(read_journal(path, strict=strict, validate=validate))
+    return list(
+        read_journal(
+            path, strict=strict, validate=validate, skip_unknown=skip_unknown
+        )
+    )
 
 
 def truncate_torn_tail(path: Union[str, os.PathLike]) -> bool:

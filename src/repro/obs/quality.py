@@ -239,7 +239,7 @@ def audit_file(path: Union[str, os.PathLike], z: float = DEFAULT_Z) -> Dict:
     """Load a journal file and audit it (see :func:`audit_events`)."""
     from .journal import JournalError, load_journal
 
-    events = load_journal(path)
+    events = load_journal(path, skip_unknown=True)
     if not events:
         raise JournalError(f"{path}: empty journal")
     audit = audit_events(events, z=z)

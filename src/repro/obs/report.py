@@ -35,6 +35,7 @@ __all__ = [
     "render_snapshot",
     "collect_timers",
     "collect_counters",
+    "collect_gauges",
     "derived_counter_rows",
 ]
 
@@ -77,6 +78,31 @@ def collect_counters(events: Sequence[Dict]) -> Dict[str, int]:
         for name, n in (ev.get("counters") or {}).items():
             counters[name] = counters.get(name, 0) + n
     return counters
+
+
+def collect_gauges(events: Sequence[Dict]) -> Dict[str, float]:
+    """Gauge name -> last value for one event stream.
+
+    Prefers the summary snapshot's gauges; interrupted runs fall back
+    to the last coordinator ``telemetry`` sample's rate gauges (the
+    only gauges the event stream itself carries), so a dead run still
+    reports its final throughput readings.
+    """
+    summary = next((e for e in events if e.get("event") == "summary"), None)
+    if summary is not None and summary.get("gauges"):
+        return dict(summary["gauges"])
+    gauges: Dict[str, float] = {}
+    for ev in events:
+        if ev.get("event") != "telemetry" or ev.get("lane") != "coordinator":
+            continue
+        gauges["telemetry.rss_bytes"] = ev.get("rss_bytes", 0)
+        gauges["telemetry.rss_peak_bytes"] = max(
+            gauges.get("telemetry.rss_peak_bytes", 0), ev.get("rss_bytes", 0)
+        )
+        gauges["telemetry.cpu_s"] = ev.get("cpu_s", 0.0)
+        for name, rate in (ev.get("gauges") or {}).items():
+            gauges[f"telemetry.{name}"] = rate
+    return gauges
 
 
 #: (hit counter, miss counter) pairs rendered as derived hit-rates.
@@ -137,8 +163,12 @@ def render_snapshot(snapshot: Dict, top_k: int = 12) -> str:
 def report_from_file(
     path: Union[str, os.PathLike], top_k: int = 12
 ) -> str:
-    """Load a journal file and render the profiling report."""
-    events = load_journal(path)
+    """Load a journal file and render the profiling report.
+
+    Loads tolerantly (``skip_unknown``): event types newer than this
+    build degrade to "not shown" instead of erroring.
+    """
+    events = load_journal(path, skip_unknown=True)
     if not events:
         raise JournalError(f"{path}: empty journal")
     return render_report(events, top_k=top_k)
@@ -158,6 +188,10 @@ def render_report(events: Sequence[Dict], top_k: int = 12) -> str:
     out.extend(_render_iterations(iterations))
     out.append("")
     out.extend(_render_counters(collect_counters(events), top_k))
+    gauges = collect_gauges(events)
+    if gauges:
+        out.append("")
+        out.extend(_render_gauges(gauges))
     return "\n".join(out)
 
 
@@ -233,6 +267,7 @@ def report_as_dict(events: Sequence[Dict], top_k: int = 12) -> Dict:
             for ev in iterations
         ],
         "counters": dict(_counter_table(counters, top_k)),
+        "gauges": collect_gauges(events),
         "derived": derived,
     }
 
@@ -338,6 +373,18 @@ def _render_counters(counters: Dict[str, int], top_k: int) -> List[str]:
         lines.append(f"{name:<{width}}  {n:>14,}")
     for name, text in derived:
         lines.append(f"{name:<{width}}  {text}")
+    return lines
+
+
+def _render_gauges(gauges: Dict[str, float]) -> List[str]:
+    lines = ["=== gauges ==="]
+    width = max(len(n) for n in gauges)
+    for name in sorted(gauges):
+        value = gauges[name]
+        if isinstance(value, float) and value != int(value):
+            lines.append(f"{name:<{width}}  {value:>14,.3f}")
+        else:
+            lines.append(f"{name:<{width}}  {int(value):>14,}")
     return lines
 
 

@@ -28,6 +28,12 @@ Events live in two coordinate systems:
 
 Span ids are namespaced by pid (``"<pid>:<n>"``), so merged worker
 events can never collide with coordinator ids.
+
+Besides spans, a recorder carries **counter events** (``add_counter``):
+sampled series -- RSS, CPU, throughput rates from
+:mod:`repro.obs.telemetry` -- exported as Chrome-trace counter records
+(``"ph": "C"``), which Perfetto renders as one counter track per
+``(pid, name)`` under that pid's span lane.
 """
 
 from __future__ import annotations
@@ -37,12 +43,16 @@ import os
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-__all__ = ["SpanEvent", "TraceRecorder", "to_chrome_trace", "write_chrome_trace"]
+__all__ = ["SpanEvent", "CounterEvent", "TraceRecorder", "to_chrome_trace", "write_chrome_trace"]
 
 #: One completed span: (span id, parent id or None, hierarchical path,
 #: begin perf_counter, end perf_counter, recording pid).  A plain tuple
 #: so worker buffers pickle compactly.
 SpanEvent = Tuple[int, Optional[int], str, float, float, int]
+
+#: One sampled counter reading: (track name, perf_counter instant,
+#: value, recording pid).
+CounterEvent = Tuple[str, float, float, int]
 
 
 class TraceRecorder:
@@ -58,6 +68,7 @@ class TraceRecorder:
         self.pid = os.getpid() if pid is None else int(pid)
         self.epoch = time.perf_counter()
         self.events: List[SpanEvent] = []
+        self.counter_events: List[CounterEvent] = []
         self._open: List[Tuple[int, Optional[int]]] = []  # (id, parent)
         self._next_id = 0
 
@@ -72,6 +83,16 @@ class TraceRecorder:
         """Close the innermost open span into a completed event."""
         span_id, parent = self._open.pop()
         self.events.append((span_id, parent, path, t0, t1, self.pid))
+
+    def add_counter(
+        self, name: str, instant: float, value: float, pid: Optional[int] = None
+    ) -> None:
+        """Record one sampled counter reading (a ``"ph": "C"`` track
+        point on export).  ``pid`` defaults to this recorder's lane;
+        the telemetry monitor passes worker pids for shipped samples."""
+        self.counter_events.append(
+            (name, float(instant), float(value), self.pid if pid is None else int(pid))
+        )
 
     # -- merging --------------------------------------------------------
     def drain(self) -> List[SpanEvent]:
@@ -92,14 +113,19 @@ class TraceRecorder:
 def to_chrome_trace(recorder: TraceRecorder) -> Dict:
     """Render a recorder's events as a Chrome trace-format object.
 
-    Every event becomes a complete (``"ph": "X"``) slice with
+    Every span becomes a complete (``"ph": "X"``) slice with
     microsecond timestamps relative to the recorder's epoch; ``args``
     carries the full span path and the explicit ``id``/``parent`` pair
-    (ids namespaced ``"<pid>:<n>"``).  Lanes: the coordinator pid
-    first, then worker pids in ascending order, each named by a
-    ``process_name`` metadata record.
+    (ids namespaced ``"<pid>:<n>"``).  Sampled counter readings become
+    ``"ph": "C"`` records -- Perfetto draws one counter track per
+    ``(pid, name)``.  Lanes: the coordinator pid first, then worker
+    pids in ascending order, each named by a ``process_name`` metadata
+    record.
     """
-    pids = sorted({ev[5] for ev in recorder.events})
+    pids = sorted(
+        {ev[5] for ev in recorder.events}
+        | {ev[3] for ev in recorder.counter_events}
+    )
     if recorder.pid in pids:  # coordinator lane leads
         pids.remove(recorder.pid)
         pids.insert(0, recorder.pid)
@@ -144,6 +170,21 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict:
                         "id": f"{pid}:{span_id}",
                         "parent": None if parent is None else f"{pid}:{parent}",
                     },
+                }
+            )
+    for pid in pids:
+        track = [ev for ev in recorder.counter_events if ev[3] == pid]
+        track.sort(key=lambda ev: (ev[0], ev[1]))
+        for name, instant, value, _pid in track:
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": "telemetry",
+                    "ph": "C",
+                    "ts": (instant - recorder.epoch) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
                 }
             )
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -10,8 +10,9 @@ module gives it a memory and a gate:
   artifact chain rather than in whoever remembered last week's number;
 * :func:`detect_regressions` compares each new row against the
   **trailing median** of the most recent prior entries with the same
-  identity (same bench, same circuit/config fields).  Time-like
-  metrics (``t_*_ms``, ``*_s``) regress when they grow more than
+  identity (same bench, same circuit/config fields).  Time-like and
+  memory-like metrics (``t_*_ms``, ``*_s``, ``rss_*_mb``,
+  ``overhead_pct``) regress when they grow more than
   ``threshold`` above the median; ``speedup*`` metrics regress when
   they fall more than ``threshold`` below it.  The median (not the
   last value) absorbs single-run CI noise; the window keeps old eras
@@ -42,8 +43,8 @@ __all__ = [
 
 #: Row fields that identify *what* was measured (matched across runs);
 #: every other numeric field is a candidate metric.
-_LOWER_IS_BETTER_PREFIXES = ("t_",)
-_LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s")
+_LOWER_IS_BETTER_PREFIXES = ("t_", "rss_", "overhead")
+_LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s", "_mb")
 _HIGHER_IS_BETTER_PREFIXES = ("speedup",)
 
 

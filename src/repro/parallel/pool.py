@@ -96,6 +96,7 @@ _WORKER_SHM = None  # keeps an attached SharedMemory segment alive
 _WORKER_GEN: int = -1
 _WORKER_CURRENT: Optional[Circuit] = None
 _WORKER_OBS: Optional[Instrumentation] = None
+_WORKER_TELEMETRY: bool = False
 
 
 def _init_worker(
@@ -105,9 +106,11 @@ def _init_worker(
     value_outputs: Optional[Tuple[str, ...]],
     trace: bool = False,
     engine: Optional[str] = None,
+    telemetry: bool = False,
 ) -> None:
     """Build the per-worker estimator once (the pickle-once shipment)."""
-    global _WORKER_EST, _WORKER_SHM, _WORKER_OBS
+    global _WORKER_EST, _WORKER_SHM, _WORKER_OBS, _WORKER_TELEMETRY
+    _WORKER_TELEMETRY = bool(telemetry)
     if shm_spec is not None:
         from multiprocessing import shared_memory
 
@@ -146,12 +149,18 @@ def _score_shard(
     approx_blob: Optional[bytes],
     faults: Sequence[StuckAtFault],
     rs_drop_threshold: Optional[float],
-) -> Tuple[List[Tuple[int, int, int, bool, int]], Optional[list]]:
+) -> Tuple[
+    List[Tuple[int, int, int, bool, int]], Optional[list], Optional[list]
+]:
     """Score one fault shard against the cached-or-shipped netlist.
 
     Returns compact per-fault rows (the fault objects stay on the
     coordinator) in shard order, plus this worker's drained span-trace
-    buffer when the coordinator is tracing (``None`` otherwise).
+    buffer when the coordinator is tracing, plus one RSS/CPU telemetry
+    reading when the coordinator runs a telemetry monitor (``None``
+    each otherwise).  Workers run no sampler threads: one reading per
+    scored shard is enough for a utilization series, and shard results
+    are the channel that already exists.
     """
     global _WORKER_GEN, _WORKER_CURRENT
     if _WORKER_EST is None:  # pragma: no cover - initializer always ran
@@ -181,7 +190,12 @@ def _score_shard(
         if _WORKER_OBS is not None and _WORKER_OBS.tracer is not None
         else None
     )
-    return rows, trace_events
+    telemetry_samples = None
+    if _WORKER_TELEMETRY:
+        from ..obs.telemetry import worker_sample
+
+        telemetry_samples = [worker_sample()]
+    return rows, trace_events, telemetry_samples
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +285,9 @@ class ScoringPool:
         broken = False
         for shard, future in zip(shards, futures):
             try:
-                rows, worker_trace = future.result(timeout=self.timeout_s)
+                rows, worker_trace, worker_telemetry = future.result(
+                    timeout=self.timeout_s
+                )
                 merged.extend(self._rebuild(shard, rows))
                 self.obs.incr("parallel.faults_scored_remote", len(shard))
                 # Worker span buffers merge in shard order -- the same
@@ -280,6 +296,8 @@ class ScoringPool:
                 if worker_trace and self.obs.tracer is not None:
                     self.obs.tracer.add_remote(worker_trace)
                     self.obs.incr("parallel.trace_events_merged", len(worker_trace))
+                if worker_telemetry and self.obs.telemetry is not None:
+                    self.obs.telemetry.add_worker_samples(worker_telemetry)
             except Exception:
                 # Crash, timeout, or a poisoned pool: this shard (and
                 # any later one that also fails) is scored in-process.
@@ -346,6 +364,7 @@ class ScoringPool:
                     est.value_outputs,
                     self.obs.tracer is not None,
                     est.engine,
+                    self.obs.telemetry is not None,
                 ),
             )
         return self._executor

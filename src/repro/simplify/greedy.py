@@ -216,6 +216,7 @@ def circuit_simplify(
     workers: Optional[int] = None,
     checkpoint: Optional[Union[str, os.PathLike]] = None,
     progress=None,
+    telemetry_interval: Optional[float] = None,
 ) -> GreedyResult:
     """Greedy maximal area reduction within an RS budget (paper Fig. 6).
 
@@ -240,6 +241,13 @@ def circuit_simplify(
     disagree with the journal.  The caller owns its lifetime (it is
     not closed here, so one reporter can span the ``fom="best"``
     policy's two constituent runs).
+
+    ``telemetry_interval`` switches on the background resource sampler
+    (:class:`~repro.obs.telemetry.TelemetryMonitor`): RSS/CPU/throughput
+    samples every that-many seconds, journaled as v4 ``telemetry``
+    events (coordinator lane plus one lane per scoring-worker pid) and
+    mirrored into gauges and -- when tracing -- Chrome-trace counter
+    tracks.  ``None`` (the default) runs no sampler thread.
 
     ``checkpoint`` names a journal file that doubles as a durable run
     checkpoint: if the file already holds a run prefix (e.g. from a
@@ -334,7 +342,9 @@ def circuit_simplify(
     if progress is not None:
         all_sinks.append(progress)
     tee: Optional[_JournalTee] = _JournalTee(all_sinks) if all_sinks else None
-    if tee is not None and not obs.enabled:
+    # A journal or a telemetry monitor needs real timings/counters to
+    # record: switch a private registry on when instrumentation is off.
+    if (tee is not None or telemetry_interval is not None) and not obs.enabled:
         obs = Instrumentation()
 
     estimator = MetricsEstimator(
@@ -377,6 +387,16 @@ def circuit_simplify(
         obs.incr("checkpoint.resumes")
         obs.incr("checkpoint.replayed_iterations", len(replay.iterations))
 
+    # The monitor attaches to the registry *before* the pool is built:
+    # the pool's executor reads ``obs.telemetry`` to decide whether
+    # workers sample RSS/CPU per shard.
+    monitor = None
+    if telemetry_interval is not None:
+        from ..obs.telemetry import TelemetryMonitor
+
+        monitor = TelemetryMonitor(obs, sink=tee, interval_s=telemetry_interval)
+        obs.telemetry = monitor
+
     pool = None
     if num_workers > 1 and cfg.use_batch_ranking:
         from ..parallel.pool import ScoringPool
@@ -414,6 +434,10 @@ def circuit_simplify(
                     "workers": num_workers,
                 }
             )
+    # Sampling starts only after the header emit, so the journal's
+    # first line stays the run_start/resume event.
+    if monitor is not None:
+        monitor.start()
     try:
         _run_greedy(
             circuit,
@@ -431,6 +455,12 @@ def circuit_simplify(
             skip_prepass=skip_prepass,
             prev=prev,
         )
+        # Stop sampling before the summary snapshot: the final sample's
+        # gauges land in the summary, and the journal still ends with it.
+        if monitor is not None:
+            monitor.stop()
+            obs.telemetry = None
+            monitor = None
         if tee is not None:
             snap = obs.snapshot()
             tee.emit(
@@ -451,6 +481,9 @@ def circuit_simplify(
                 }
             )
     finally:
+        if monitor is not None:
+            monitor.stop()
+            obs.telemetry = None
         if pool is not None:
             pool.close()
         for j in own_journals:
@@ -643,12 +676,16 @@ def _run_greedy(
                 break
 
     if result.final_metrics is None:
-        _ok, result.final_metrics = estimator.check_rs(
-            threshold,
-            approx=current,
-            use_atpg=use_atpg,
-            structural_reference=reference,
-        )
+        # Under its own span: the trailing RS check is the last real
+        # work of the run, and `repro profile` attributes wall time by
+        # top-level span coverage.
+        with obs.span("finalize"):
+            _ok, result.final_metrics = estimator.check_rs(
+                threshold,
+                approx=current,
+                use_atpg=use_atpg,
+                structural_reference=reference,
+            )
 
 
 class _MetricsCursor:
@@ -968,6 +1005,8 @@ def _rank_candidates(
             estimator.simulate(approx=current, faults=[f]) + (False,)
             for _proxy, _delta, f in shortlist
         ]
+    # Feeds the telemetry monitor's candidates_per_s throughput gauge.
+    estimator.obs.incr("greedy.candidates_scored", len(shortlist))
     scored: List[Tuple[float, StuckAtFault, float, float, int, int]] = []
     for (_proxy, delta, f), (er, observed, dropped) in zip(shortlist, results):
         sim_rs = er * observed

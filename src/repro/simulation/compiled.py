@@ -66,6 +66,7 @@ from .vectors import num_words, pack_vectors
 __all__ = [
     "ENGINE_ENV",
     "ENGINES",
+    "PROGRAM_CACHE_ENV",
     "CompiledProgram",
     "CompiledSimulator",
     "circuit_fingerprint",
@@ -80,6 +81,16 @@ logger = logging.getLogger("repro.simulation.compiled")
 #: ``REPRO_WORKERS`` for the scoring pool).  CI sets
 #: ``REPRO_ENGINE=compiled`` in the ``tests-compiled`` job.
 ENGINE_ENV = "REPRO_ENGINE"
+
+#: Environment override for the compiled-program LRU cache bound.
+#: Long sweeps over many structurally distinct netlists can raise it;
+#: memory-tight workers can shrink it.  Read per :func:`compile_program`
+#: call (not captured at import), so tests and long-lived processes can
+#: adjust it without reloading the module.
+PROGRAM_CACHE_ENV = "REPRO_PROGRAM_CACHE"
+
+#: Core names indexed by opcode, for the per-core pass counters.
+_CORE_NAMES = ("and", "or", "xor")
 
 #: Concrete engines a request can resolve to.
 ENGINES = ("compiled", "python")
@@ -186,6 +197,7 @@ class CompiledProgram:
         "levels",
         "loc",
         "level_of_row",
+        "pass_counters",
     )
 
     def __init__(
@@ -198,6 +210,7 @@ class CompiledProgram:
         levels: Tuple[Tuple[Tuple, ...], ...],
         loc: Dict[int, Tuple[int, int, int]],
         level_of_row: Dict[int, int],
+        pass_counters: Tuple[Tuple[str, int, bool], ...] = (),
     ) -> None:
         self.fingerprint = fingerprint
         self.num_inputs = num_inputs
@@ -207,6 +220,37 @@ class CompiledProgram:
         self.levels = levels
         self.loc = loc
         self.level_of_row = level_of_row
+        #: Pass-attribution amounts, precomputed at compile time so
+        #: ``run_packed`` pays a handful of ``incr`` calls per *run*
+        #: (not per gate): ``(counter name, amount, scale_by_words)``.
+        #: Word-scaled amounts count uint64 slots gathered + scattered
+        #: per batch word; the rest are per-run pass/row counts.
+        self.pass_counters = pass_counters
+
+    def pass_table(self) -> List[Dict]:
+        """Per-(level, core) execution-pass breakdown.
+
+        One row per vectorized pass the kernel executes per run:
+        topological level, core name, gates evaluated by the pass, the
+        padded fan-in, and the uint64 slots it moves per batch word
+        (``(arity + 1) * gates``: the operand gathers plus the output
+        scatter).
+        """
+        rows: List[Dict] = []
+        for li, groups in enumerate(self.levels):
+            for core, out_rows, in_rows, _inv in groups:
+                k = int(out_rows.shape[0])
+                arity = int(in_rows.shape[0])
+                rows.append(
+                    {
+                        "level": li,
+                        "core": _CORE_NAMES[core],
+                        "gates": k,
+                        "arity": arity,
+                        "words_per_batch_word": (arity + 1) * k,
+                    }
+                )
+        return rows
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -298,13 +342,72 @@ def _build_program(circuit: Circuit) -> CompiledProgram:
         levels=levels,
         loc=loc,
         level_of_row=level_of_row,
+        pass_counters=_build_pass_counters(levels),
     )
+
+
+def _build_pass_counters(
+    levels: Tuple[Tuple[Tuple, ...], ...]
+) -> Tuple[Tuple[str, int, bool], ...]:
+    """Precompute the per-run pass-attribution counter amounts.
+
+    Aggregate totals plus a per-core split, all derived from the group
+    shapes: ``passes`` is vectorized passes executed, ``rows_touched``
+    is output rows scattered, and ``words_moved`` is uint64 slots
+    gathered + scattered -- the word-scaled entries multiply by the
+    batch word count at run time.
+    """
+    per_core = {c: [0, 0, 0] for c in range(len(_CORE_NAMES))}
+    for groups in levels:
+        for core, out_rows, in_rows, _inv in groups:
+            k = int(out_rows.shape[0])
+            arity = int(in_rows.shape[0])
+            stats = per_core[core]
+            stats[0] += 1
+            stats[1] += k
+            stats[2] += (arity + 1) * k
+    entries: List[Tuple[str, int, bool]] = []
+    totals = [0, 0, 0]
+    for core, name in enumerate(_CORE_NAMES):
+        passes, rows, slots = per_core[core]
+        if not passes:
+            continue
+        totals[0] += passes
+        totals[1] += rows
+        totals[2] += slots
+        entries.append((f"kernel.pass.{name}.passes", passes, False))
+        entries.append((f"kernel.pass.{name}.rows_touched", rows, False))
+        entries.append((f"kernel.pass.{name}.words_moved", slots, True))
+    entries.append(("kernel.pass.executions", totals[0], False))
+    entries.append(("kernel.pass.rows_touched", totals[1], False))
+    entries.append(("kernel.pass.words_moved", totals[2], True))
+    return tuple(entries)
 
 
 #: Content-keyed program cache (per process).  Bounded: the greedy loop
 #: touches at most a handful of distinct netlist structures at a time.
 _PROGRAM_CACHE: "OrderedDict[str, CompiledProgram]" = OrderedDict()
-_PROGRAM_CACHE_MAX = 64
+_PROGRAM_CACHE_DEFAULT_MAX = 64
+
+
+def _program_cache_max() -> int:
+    """The LRU bound: :data:`PROGRAM_CACHE_ENV` or the default 64."""
+    raw = os.environ.get(PROGRAM_CACHE_ENV, "").strip()
+    if not raw:
+        return _PROGRAM_CACHE_DEFAULT_MAX
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{PROGRAM_CACHE_ENV}={raw!r} is not an integer; expected a "
+            f"positive program-cache size"
+        ) from None
+    if limit <= 0:
+        raise ValueError(
+            f"{PROGRAM_CACHE_ENV}={raw!r} must be a positive integer "
+            f"(the cache needs room for at least the current program)"
+        )
+    return limit
 
 
 def compile_program(
@@ -312,6 +415,7 @@ def compile_program(
 ) -> CompiledProgram:
     """Lower a circuit to its :class:`CompiledProgram` (content-cached)."""
     obs = obs if obs is not None else get_active()
+    limit = _program_cache_max()
     key = circuit_fingerprint(circuit)
     program = _PROGRAM_CACHE.get(key)
     if program is not None:
@@ -325,8 +429,9 @@ def compile_program(
     obs.incr("compile.gates_lowered", len(program.schedule))
     obs.incr("compile.levels", len(program.levels))
     _PROGRAM_CACHE[key] = program
-    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
+    while len(_PROGRAM_CACHE) > limit:
         _PROGRAM_CACHE.popitem(last=False)
+        obs.incr("compile.cache_evictions")
     return program
 
 
@@ -430,8 +535,19 @@ class CompiledSimulator:
                     eval_core_group(core, out_rows, in_rows, inv, values, sl)
                 for row, word in stem_by_level.get(li, ()):
                     values[row] = word
+            if patches:
+                self.obs.incr("kernel.overlay_patches", len(patches))
+            if stem_by_level:
+                self.obs.incr(
+                    "kernel.overlay_stems",
+                    sum(len(v) for v in stem_by_level.values()),
+                )
         self.obs.incr("kernel.runs")
         self.obs.incr("kernel.words_simulated", w)
+        # Pass attribution, precomputed at compile time: a handful of
+        # incr calls per run (no-ops under NullInstrumentation).
+        for name, amount, by_words in p.pass_counters:
+            self.obs.incr(name, amount * w if by_words else amount)
         return SimResult(self, values, num_vectors)
 
 

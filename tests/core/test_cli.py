@@ -369,3 +369,95 @@ def test_trends_first_run_creates_history_file_cleanly(tmp_path, capsys):
                "--history", str(blocked / "hist.jsonl")])
     assert rc == 2
     assert "cannot write history" in capsys.readouterr().err
+
+
+def test_simplify_telemetry_interval_journals_samples(netlist, tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    rc = main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+               "--telemetry-interval", "0.02", "--journal", str(journal)])
+    assert rc == 0
+    capsys.readouterr()
+    from repro.obs import load_journal
+
+    events = load_journal(str(journal))
+    tel = [e for e in events if e["event"] == "telemetry"]
+    assert len(tel) >= 2
+    assert events[0]["event"] == "run_start"
+    assert events[-1]["event"] == "summary"
+
+
+def test_simplify_rejects_non_positive_telemetry_interval(netlist, capsys):
+    rc = main(["simplify", netlist, "--rs-pct", "5",
+               "--telemetry-interval", "0"])
+    assert rc == 2
+    assert "telemetry_interval" in capsys.readouterr().err
+
+
+def test_simplify_progress_drops_openmetrics_heartbeat(netlist, tmp_path,
+                                                       capsys):
+    from repro.obs import validate_openmetrics
+
+    progress = tmp_path / "progress.json"
+    prom = tmp_path / "telemetry.prom"
+    rc = main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+               "--progress", str(progress),
+               "--telemetry-interval", "0.02"])
+    assert rc == 0
+    assert "openmetrics snapshot written to" in capsys.readouterr().out
+    text = prom.read_text()
+    assert validate_openmetrics(text) > 0
+    assert 'repro_run_info{' in text
+    assert "repro_gauge_run_area" in text
+    assert not prom.with_suffix(".prom.tmp").exists()
+
+
+def test_profile_cli_text_json_and_gate(netlist, tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "run.jsonl"
+    assert main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+                 "--telemetry-interval", "0.02",
+                 "--journal", str(journal)]) == 0
+    capsys.readouterr()
+
+    assert main(["profile", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "=== profile:" in out
+    assert "self time (exclusive, top spans)" in out
+    assert "RSS timeline" in out
+
+    assert main(["profile", str(journal), "--format", "json", "--top", "3"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["spans"]) <= 3
+    assert payload["attribution"]["attributed_pct"] > 0
+
+    # a healthy run passes the gate; a truncated header-only journal fails it
+    assert main(["profile", str(journal), "--fail-on-unattributed"]) == 0
+    capsys.readouterr()
+    torn = tmp_path / "torn.jsonl"
+    with open(journal, encoding="utf-8") as src:
+        first = src.readline()
+    torn.write_text(first)
+    assert main(["profile", str(torn), "--fail-on-unattributed"]) == 3
+    capsys.readouterr()
+
+
+def test_profile_cli_errors(tmp_path, capsys):
+    assert main(["profile", str(tmp_path / "nope.jsonl")]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["profile", str(empty)]) == 2
+    capsys.readouterr()
+
+
+def test_report_format_openmetrics_cli(netlist, tmp_path, capsys):
+    from repro.obs import validate_openmetrics
+
+    journal = tmp_path / "run.jsonl"
+    assert main(["simplify", netlist, "--rs-pct", "5", "--vectors", "500",
+                 "--journal", str(journal)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(journal), "--format", "openmetrics"]) == 0
+    text = capsys.readouterr().out
+    assert validate_openmetrics(text) > 0
+    assert 'status="complete"' in text

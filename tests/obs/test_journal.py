@@ -323,3 +323,78 @@ def test_journal_accepts_open_runjournal_and_leaves_it_open(tmp_path):
     events = load_journal(path, strict=True)
     assert events[0]["event"] == "run_start"
     assert events[-1]["event"] == "summary"
+
+
+# ----------------------------------------------------------------------
+# forward compatibility: unknown event types are skipped, not fatal
+# ----------------------------------------------------------------------
+def _mixed_journal(tmp_path):
+    """A valid run journal with two future-typed events interleaved."""
+    path = tmp_path / "mixed.jsonl"
+    events = [
+        _header(circuit="c17"),
+        {"event": "future_marker", "payload": {"anything": True}},
+        _iteration(0),
+        {"event": "gpu_telemetry", "sm_util": 0.93},
+        _iteration(1, fault="G3 s-a-1", area_after=1),
+        {
+            "event": "summary",
+            "iterations": 2,
+            "faults_injected": 2,
+            "area_before": 3,
+            "area_after": 1,
+            "area_reduction_pct": 66.7,
+            "final_er": 0.25,
+            "final_es": 1,
+            "final_rs": 0.25,
+            "elapsed_s": 0.5,
+            "timers": {"greedy": {"total_s": 0.5, "count": 1}},
+            "counters": {},
+            "gauges": {},
+        },
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev) + "\n")
+    return path
+
+
+def test_skip_unknown_drops_future_events_only(tmp_path):
+    path = _mixed_journal(tmp_path)
+    with pytest.raises(JournalError, match="unknown"):
+        load_journal(path)
+    events = load_journal(path, skip_unknown=True)
+    assert [e["event"] for e in events] == [
+        "run_start", "iteration", "iteration", "summary",
+    ]
+
+
+def test_report_compare_audit_tolerate_unknown_events(tmp_path, capsys):
+    """Satellite regression: every journal consumer must read a
+    mixed-event journal written by a newer build of the same schema
+    version instead of erroring."""
+    from repro.cli import main
+    from repro.obs import compare_files, report_from_file
+    from repro.obs.quality import audit_file
+
+    path = _mixed_journal(tmp_path)
+    report = report_from_file(path)
+    assert "status: complete" in report
+    cmp_result = compare_files(path, path)
+    assert cmp_result["first_divergence"] is None
+    audit = audit_file(path)
+    assert audit["iterations"]
+    assert main(["report", str(path)]) == 0
+    assert main(["profile", str(path)]) == 0
+    capsys.readouterr()
+
+
+def test_skip_unknown_does_not_mask_malformed_events(tmp_path):
+    """Only *well-formed dicts with an unknown type* are skipped; a
+    known type with missing keys still fails validation."""
+    path = tmp_path / "broken.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_header()) + "\n")
+        fh.write(json.dumps({"event": "telemetry", "t_s": 0.1}) + "\n")
+    with pytest.raises(JournalError, match="missing required keys"):
+        load_journal(path, skip_unknown=True)

@@ -1,0 +1,163 @@
+"""OpenMetrics rendering + the text-format grammar validator."""
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    journal_openmetrics,
+    load_journal,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.simplify import GreedyConfig, circuit_simplify
+
+from tests.conftest import build_c17
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def test_render_counters_gauges_timers_info():
+    obs = Instrumentation()
+    obs.incr("kernel.runs", 7)
+    obs.gauge("telemetry.rss_bytes", 12_000_000)
+    with obs.span("greedy"):
+        with obs.span("rank"):
+            pass
+    text = render_openmetrics(
+        obs.snapshot(), info={"circuit": "c17", "status": "complete"}
+    )
+    assert validate_openmetrics(text) >= 5
+    assert "# TYPE repro_run info" in text
+    assert 'repro_run_info{circuit="c17",status="complete"} 1' in text
+    assert "# TYPE repro_kernel_runs counter" in text
+    assert "repro_kernel_runs_total 7" in text
+    assert "# TYPE repro_gauge_telemetry_rss_bytes gauge" in text
+    assert "repro_gauge_telemetry_rss_bytes 12000000" in text
+    assert 'repro_phase_seconds_total{phase="greedy/rank"}' in text
+    assert 'repro_phase_calls_total{phase="greedy/rank"} 1' in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_handles_timer_tuples_and_none_info():
+    # collect_timers produces (total_s, count) tuples, not dicts
+    snap = {"timers": {"greedy": (1.5, 3)}, "counters": {}, "gauges": {}}
+    text = render_openmetrics(snap, info={"circuit": None})
+    validate_openmetrics(text)
+    assert 'repro_phase_seconds_total{phase="greedy"} 1.5' in text
+    assert 'repro_phase_calls_total{phase="greedy"} 3' in text
+    assert "repro_run_info" not in text  # all-None info collapses
+
+
+def test_render_sanitizes_names_and_escapes_labels():
+    snap = {
+        "counters": {"weird.name-with%chars": 1},
+        "timers": {'ph"ase\\with"quotes': {"total_s": 0.5, "count": 1}},
+    }
+    text = render_openmetrics(snap, info={"circuit": 'c"17\\x'})
+    validate_openmetrics(text)
+    assert "repro_weird_name_with_chars_total 1" in text
+
+
+def test_render_same_raw_name_as_counter_and_gauge_is_legal():
+    # distinct family prefixes keep this from being a duplicate TYPE
+    snap = {"counters": {"x": 1}, "gauges": {"x": 2.5}}
+    text = render_openmetrics(snap)
+    validate_openmetrics(text)
+    assert "repro_x_total 1" in text
+    assert "repro_gauge_x 2.5" in text
+
+
+def test_render_special_float_values():
+    snap = {"gauges": {"nan": float("nan"), "inf": float("inf"), "flt": 0.25}}
+    text = render_openmetrics(snap)
+    validate_openmetrics(text)
+    assert "repro_gauge_nan NaN" in text
+    assert "repro_gauge_inf +Inf" in text
+    assert "repro_gauge_flt 0.25" in text
+
+
+# ----------------------------------------------------------------------
+# validator rejections
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text, match",
+    [
+        ("repro_x_total 1\n", "terminate with '# EOF'"),
+        ("# EOF", "end with a newline"),
+        ("# EOF\nrepro_x 1\n# EOF\n", "content after"),
+        ("\n# EOF\n", "blank line"),
+        ("# TYPE repro_x counter\nrepro_x_total nope\n# EOF\n", "bad sample value"),
+        ("# TYPE 9bad counter\n# EOF\n", "bad metric family name"),
+        ("# TYPE repro_x wat\n# EOF\n", "bad TYPE line"),
+        (
+            "# TYPE repro_x counter\n# TYPE repro_x counter\n# EOF\n",
+            "declared twice",
+        ),
+        ("repro_x_total 1\n# EOF\n", "no preceding TYPE"),
+        # counter samples must carry a counter suffix
+        ("# TYPE repro_x counter\nrepro_x 1\n# EOF\n", "no preceding TYPE"),
+        # gauge samples must be bare
+        ("# TYPE repro_x gauge\nrepro_x_total 1\n# EOF\n", "no preceding TYPE"),
+        (
+            '# TYPE repro_x counter\nrepro_x_total{9bad="v"} 1\n# EOF\n',
+            "malformed label set",
+        ),
+    ],
+)
+def test_validate_rejects(text, match):
+    with pytest.raises(ValueError, match=match):
+        validate_openmetrics(text)
+
+
+def test_validate_counts_samples():
+    text = (
+        "# TYPE repro_a counter\n"
+        "repro_a_total 1\n"
+        "# TYPE repro_b gauge\n"
+        "repro_b 2\n"
+        "# EOF\n"
+    )
+    assert validate_openmetrics(text) == 2
+
+
+# ----------------------------------------------------------------------
+# journal rendering (acceptance: parses under the grammar)
+# ----------------------------------------------------------------------
+def test_journal_openmetrics_end_to_end(tmp_path):
+    path = tmp_path / "run.jsonl"
+    circuit_simplify(
+        build_c17(),
+        rs_pct_threshold=10.0,
+        config=GreedyConfig(num_vectors=32, seed=0, exhaustive=True),
+        journal=path,
+        telemetry_interval=0.02,
+    )
+    events = load_journal(path)
+    text = journal_openmetrics(events)
+    assert validate_openmetrics(text) > 10
+    assert 'repro_run_info{circuit="c17"' in text
+    assert 'status="complete"' in text
+    assert "repro_gauge_telemetry_rss_peak_bytes" in text
+    assert "repro_gauge_run_iterations" in text
+    assert "repro_phase_seconds_total" in text
+
+
+def test_journal_openmetrics_interrupted_run_still_exposes_resources():
+    events = [
+        {"event": "run_start", "version": 4, "circuit": "c17"},
+        {
+            "event": "telemetry",
+            "t_s": 0.1,
+            "pid": 1,
+            "lane": "coordinator",
+            "rss_bytes": 5_000_000,
+            "cpu_s": 0.2,
+        },
+        # no summary: the run died mid-flight
+    ]
+    text = journal_openmetrics(events)
+    validate_openmetrics(text)
+    assert 'status="interrupted"' in text
+    assert "repro_gauge_telemetry_rss_peak_bytes 5000000" in text
+    assert "repro_gauge_telemetry_cpu_s 0.2" in text

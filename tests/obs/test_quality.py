@@ -9,6 +9,7 @@ import pytest
 from repro.cli import main
 from repro.obs import (
     DEFAULT_Z,
+    JOURNAL_VERSION,
     audit_events,
     audit_file,
     er_interval,
@@ -179,10 +180,10 @@ def test_exhaustive_run_emits_one_calibration_per_iteration(tmp_path):
             }
 
 
-def test_audit_of_v3_run_is_fully_calibrated(tmp_path):
+def test_audit_of_current_run_is_fully_calibrated(tmp_path):
     path, result = _run_c17(tmp_path)
     audit = audit_file(path)
-    assert audit["schema_version"] == 3
+    assert audit["schema_version"] == JOURNAL_VERSION
     assert audit["exact_batch"] is True
     assert audit["complete"] is True
     assert len(audit["iterations"]) == len(result.iterations)

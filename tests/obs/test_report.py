@@ -236,3 +236,76 @@ def test_render_report_against_golden_journal():
     # volatile keys are stripped from the golden: placeholders render
     assert "(no timing data recorded)" in out
     assert "(no counters recorded)" in out
+
+
+# ----------------------------------------------------------------------
+# gauges end-to-end: registry -> snapshot -> summary -> report
+# ----------------------------------------------------------------------
+def test_gauges_flow_from_registry_to_cli_json_report(tmp_path, capsys):
+    """Satellite coverage: a gauge recorded on the Instrumentation
+    registry must survive the whole chain -- snapshot, journal summary,
+    text report section, and ``repro report --format json``."""
+    import json
+
+    from repro.cli import main
+    from repro.obs import RunJournal, load_journal, report_as_dict
+    from repro.obs.report import collect_gauges
+
+    obs = Instrumentation()
+    obs.gauge("custom.depth", 7)
+    obs.gauge("custom.depth", 9)          # last value wins
+    obs.gauge_max("custom.watermark", 3.5)
+    obs.gauge_max("custom.watermark", 2.0)  # watermark keeps the max
+    snap = obs.snapshot()
+    assert snap["gauges"] == {"custom.depth": 9, "custom.watermark": 3.5}
+
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as j:
+        j.emit(_header(circuit="c17"))
+        j.emit(
+            {
+                "event": "summary",
+                "iterations": 0,
+                "faults_injected": 0,
+                "area_before": 3,
+                "area_after": 3,
+                "area_reduction_pct": 0.0,
+                "elapsed_s": 0.1,
+                "timers": {},
+                "counters": {},
+                "gauges": snap["gauges"],
+            }
+        )
+    events = load_journal(path)
+    assert collect_gauges(events) == snap["gauges"]
+
+    report = report_as_dict(events)
+    assert report["gauges"] == snap["gauges"]
+    text = render_report(events)
+    assert "=== gauges ===" in text
+    assert "custom.depth" in text and "custom.watermark" in text
+
+    assert main(["report", str(path), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["gauges"] == {"custom.depth": 9, "custom.watermark": 3.5}
+
+
+def test_simplify_run_summary_carries_telemetry_gauges(tmp_path):
+    """The real greedy loop's summary gauges reach the dict report."""
+    from repro.obs import load_journal, report_as_dict
+    from repro.simplify import GreedyConfig, circuit_simplify
+    from tests.conftest import build_c17
+
+    path = tmp_path / "run.jsonl"
+    circuit_simplify(
+        build_c17(),
+        rs_pct_threshold=10.0,
+        config=GreedyConfig(num_vectors=32, seed=0, exhaustive=True),
+        journal=path,
+        telemetry_interval=0.05,
+    )
+    gauges = report_as_dict(load_journal(path))["gauges"]
+    assert gauges["telemetry.rss_bytes"] > 0
+    assert gauges["telemetry.rss_peak_bytes"] >= gauges["telemetry.rss_bytes"]
+    assert gauges["telemetry.samples"] >= 2
+    assert "telemetry.patterns_per_s" in gauges

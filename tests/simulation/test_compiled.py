@@ -246,3 +246,98 @@ def test_make_simulator_fallback(monkeypatch):
     monkeypatch.setattr(mod, "compile_program", structural)
     with pytest.raises(CircuitError):
         mod.make_simulator(ckt, "compiled", obs)
+
+
+# ----------------------------------------------------------------------
+# program-cache sizing (REPRO_PROGRAM_CACHE) and eviction accounting
+# ----------------------------------------------------------------------
+def test_program_cache_env_bounds_entries_and_counts_evictions(monkeypatch):
+    from repro.simulation import compiled as mod
+
+    monkeypatch.setenv(mod.PROGRAM_CACHE_ENV, "2")
+    monkeypatch.setattr(mod, "_PROGRAM_CACHE", type(mod._PROGRAM_CACHE)())
+    obs = Instrumentation()
+    rng = np.random.default_rng(5)
+    for _ in range(4):  # 4 distinct circuits through a 2-entry cache
+        compile_program(random_circuit(num_inputs=4, num_gates=8, rng=rng),
+                        obs=obs)
+    assert len(mod._PROGRAM_CACHE) == 2
+    counters = obs.snapshot()["counters"]
+    assert counters["compile.cache_misses"] == 4
+    assert counters["compile.cache_evictions"] == 2
+
+
+def test_program_cache_env_default_and_blank(monkeypatch):
+    from repro.simulation import compiled as mod
+
+    monkeypatch.delenv(mod.PROGRAM_CACHE_ENV, raising=False)
+    assert mod._program_cache_max() == mod._PROGRAM_CACHE_DEFAULT_MAX == 64
+    monkeypatch.setenv(mod.PROGRAM_CACHE_ENV, "  ")
+    assert mod._program_cache_max() == 64
+    monkeypatch.setenv(mod.PROGRAM_CACHE_ENV, "128")
+    assert mod._program_cache_max() == 128
+
+
+@pytest.mark.parametrize("bad", ["0", "-3", "many", "1.5"])
+def test_program_cache_env_rejects_non_positive(monkeypatch, bad):
+    from repro.simulation import compiled as mod
+
+    monkeypatch.setenv(mod.PROGRAM_CACHE_ENV, bad)
+    with pytest.raises(ValueError, match=mod.PROGRAM_CACHE_ENV):
+        mod._program_cache_max()
+    ckt = random_circuit(num_inputs=3, num_gates=5,
+                         rng=np.random.default_rng(9))
+    with pytest.raises(ValueError, match=mod.PROGRAM_CACHE_ENV):
+        compile_program(ckt)
+
+
+# ----------------------------------------------------------------------
+# per-pass kernel attribution counters
+# ----------------------------------------------------------------------
+def test_pass_counters_attribute_every_run():
+    rng = np.random.default_rng(11)
+    ckt = random_circuit(num_inputs=5, num_gates=20, rng=rng)
+    obs = Instrumentation()
+    sim = CompiledSimulator(ckt, obs=obs)
+    vectors = random_vectors(len(ckt.inputs), 130, rng)  # 3 packed words
+    sim.run(vectors)
+    counters = obs.snapshot()["counters"]
+    program = compile_program(ckt)
+    expected_passes = sum(
+        amount for name, amount, by_words in program.pass_counters
+        if name == "kernel.pass.executions"
+    )
+    assert counters["kernel.pass.executions"] == expected_passes
+    # word-scaled counters multiply by the packed word count
+    per_word = sum(
+        amount for name, amount, by_words in program.pass_counters
+        if name == "kernel.pass.words_moved"
+    )
+    assert counters["kernel.pass.words_moved"] == per_word * 3
+    # per-core entries sum to the aggregates
+    core_rows = sum(
+        counters.get(f"kernel.pass.{core}.rows_touched", 0)
+        for core in ("and", "or", "xor")
+    )
+    assert core_rows * 3 == counters["kernel.pass.rows_touched"] * 3
+    sim.run(vectors)  # a second run doubles every pass counter
+    counters2 = obs.snapshot()["counters"]
+    assert counters2["kernel.pass.executions"] == 2 * expected_passes
+
+
+def test_pass_table_mirrors_pass_counters():
+    rng = np.random.default_rng(13)
+    ckt = random_circuit(num_inputs=4, num_gates=12, rng=rng)
+    program = compile_program(ckt)
+    table = program.pass_table()
+    assert table, "a nontrivial circuit lowers to at least one pass"
+    for row in table:
+        assert row["core"] in ("and", "or", "xor")
+        assert row["gates"] >= 1
+        assert row["words_per_batch_word"] == (row["arity"] + 1) * row["gates"]
+    total_passes = sum(1 for _ in table)
+    counters_passes = sum(
+        amount for name, amount, _w in program.pass_counters
+        if name == "kernel.pass.executions"
+    )
+    assert counters_passes == total_passes
