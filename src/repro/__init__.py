@@ -32,15 +32,20 @@ from .simplify import (
     simplify_with_faults,
 )
 from .core import (
+    SCHEMA_VERSION,
+    BudgetExhaustedError,
+    CompileError,
+    InvalidRequestError,
+    ReproError,
     SimplifyOutcome,
     SimplifyRequest,
+    UnsupportedSchemaVersionError,
     format_report,
-    simplify_for_error_tolerance,
     verify_simplification,
 )
 from .parallel import CheckpointError, ScoringPool, resolve_workers, resume_from
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
@@ -68,11 +73,16 @@ __all__ = [
     "remove_redundancies",
     "simplify_with_fault",
     "simplify_with_faults",
+    "SCHEMA_VERSION",
     "SimplifyRequest",
     "SimplifyOutcome",
-    "simplify_for_error_tolerance",
     "verify_simplification",
     "format_report",
+    "ReproError",
+    "InvalidRequestError",
+    "UnsupportedSchemaVersionError",
+    "CompileError",
+    "BudgetExhaustedError",
     "ScoringPool",
     "resolve_workers",
     "resume_from",

@@ -23,6 +23,11 @@ file extension) and on the built-in benchmark suite:
 * ``dct-study``  -- the Section II JPEG/DCT application study
 * ``er-tests``   -- error-rate test generation (ERTG flow)
 * ``yield``      -- effective-yield analysis on a defect population
+* ``serve``      -- run the simplification job server (versioned HTTP
+  API, bounded queue, crash-resumable worker pool, result cache)
+* ``submit``     -- submit a netlist to a running job server; with
+  ``--wait`` polls to completion and renders the report
+* ``jobs``       -- list/inspect/cancel jobs on a running server
 
 All human-facing output goes through the ``repro`` logging tree
 (INFO -> stdout, WARNING+ -> stderr), configured by the global
@@ -115,10 +120,9 @@ def _configure_logging(verbose: bool, quiet: bool) -> None:
     err.setFormatter(logging.Formatter("%(levelname)s: %(message)s"))
     root.addHandler(err)
 
-    # Python warnings (e.g. the deprecation shim) must obey the same
-    # config instead of writing to stderr behind the logging tree's
-    # back -- the ``--quiet`` contract is "WARNING+ on stderr, nothing
-    # else, all of it through logging".
+    # Python warnings must obey the same config instead of writing to
+    # stderr behind the logging tree's back -- the ``--quiet`` contract
+    # is "WARNING+ on stderr, nothing else, all of it through logging".
     logging.captureWarnings(True)
     pywarn = logging.getLogger("py.warnings")
     pywarn.handlers.clear()
@@ -247,8 +251,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_simplify(args: argparse.Namespace) -> int:
-    from .core import SimplifyRequest
-    from .parallel import CheckpointError
+    from .core import ReproError, SimplifyRequest
 
     if (args.rs is None) == (args.rs_pct is None):
         logger.error("give exactly one of --rs / --rs-pct")
@@ -286,8 +289,10 @@ def cmd_simplify(args: argparse.Namespace) -> int:
         return 2
     try:
         outcome = request.run(circuit, obs=obs, progress=progress)
-    except CheckpointError as exc:
-        logger.error(str(exc))
+    except ReproError as exc:
+        # Taxonomy errors (checkpoint mismatch, invalid request, ...)
+        # carry a stable machine code; surface it alongside the text.
+        logger.error(f"{exc.code}: {exc}")
         return 2
     finally:
         if progress is not None:
@@ -578,6 +583,121 @@ def cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_attempts=args.max_retries,
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .core import ReproError, SimplifyOutcome, SimplifyRequest
+    from .service import ServiceClient
+
+    if (args.rs is None) == (args.rs_pct is None):
+        logger.error("give exactly one of --rs / --rs-pct")
+        return 2
+    try:
+        with open(args.netlist, "r", encoding="utf-8") as fh:
+            bench_text = fh.read()
+    except OSError as exc:
+        logger.error(f"cannot read {args.netlist}: {exc}")
+        return 2
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        request = SimplifyRequest.from_cli_args(args)
+        snap = client.submit(request, netlist=bench_text, name=Path(args.netlist).stem)
+        logger.info(f"{snap['job_id']}: {snap['state']}"
+                    + (" (served from cache)" if snap.get("cached") else "")
+                    + (" (coalesced onto an identical job)"
+                       if snap.get("deduplicated") else ""))
+        if not args.wait:
+            logger.info(f"poll with: repro jobs {snap['job_id']} --url {args.url}")
+            return 0
+        final = client.wait(
+            snap["job_id"], timeout=args.timeout, poll_interval=args.poll_interval
+        )
+        if final["state"] != "done":
+            err = final.get("error") or {}
+            logger.error(f"{snap['job_id']} {final['state']}: "
+                         f"{err.get('code', '?')}: {err.get('message', '')}")
+            return 3
+        outcome = SimplifyOutcome.from_json(client.result_json(snap["job_id"]))
+    except ReproError as exc:
+        logger.error(f"{exc.code}: {exc}")
+        return 2
+    logger.info(outcome.report())
+    if args.output:
+        outcome.save(args.output)
+        logger.info(f"approximate netlist written to {args.output}")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from .core import ReproError, SimplifyOutcome
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs()
+            if args.format == "json":
+                logger.info(json.dumps(jobs, indent=2, sort_keys=True))
+                return 0
+            if not jobs:
+                logger.info("no jobs")
+            for j in jobs:
+                flags = "".join(
+                    tag for tag, on in (
+                        (" cached", j.get("cached")),
+                        (" dedup", j.get("deduplicated")),
+                    ) if on
+                )
+                logger.info(f"{j['job_id']}  {j['state']:<9} {j['circuit']}"
+                            f"  attempts={j['attempts']}{flags}")
+            return 0
+        if args.cancel:
+            snap = client.cancel(args.job_id)
+            logger.info(f"{snap['job_id']}: {snap['state']}"
+                        f" (cancel_requested={snap['cancel_requested']})")
+            return 0
+        if args.result:
+            text = client.result_json(args.job_id)
+            if args.format == "json":
+                logger.info(text.rstrip("\n"))
+            else:
+                logger.info(SimplifyOutcome.from_json(text).report())
+            return 0
+        snap = client.status(args.job_id)
+        if args.format == "json":
+            logger.info(json.dumps(snap, indent=2, sort_keys=True))
+        else:
+            logger.info(f"{snap['job_id']}: {snap['state']} "
+                        f"({snap['circuit']}, attempts={snap['attempts']})")
+            progress = snap.get("progress")
+            if progress:
+                logger.info(
+                    f"  iteration {progress.get('iteration')}  "
+                    f"area {progress.get('area_start')}->{progress.get('area')}  "
+                    f"RS {progress.get('rs'):.4g}/"
+                    f"{(progress.get('rs_threshold') or 0):.4g}"
+                )
+            err = snap.get("error")
+            if err:
+                logger.info(f"  error: {err.get('code')}: {err.get('message')}")
+    except ReproError as exc:
+        logger.error(f"{exc.code}: {exc}")
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -717,6 +837,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--weights", choices=["unit", "binary"], default="binary")
     p.set_defaults(func=cmd_yield)
+
+    p = sub.add_parser("serve", help="run the simplification job server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job runner processes (default 2)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="pending-job bound; further submits get HTTP 429")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="attempts per job before a crashed run is failed "
+                        "(each retry resumes from the job's checkpoint)")
+    p.add_argument("--data-dir", default=".repro-service", metavar="DIR",
+                   help="durable state: job dirs, result cache, netlists")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a netlist to a job server")
+    p.add_argument("netlist")
+    p.add_argument("--url", default="http://127.0.0.1:8765",
+                   help="job server base URL (default http://127.0.0.1:8765)")
+    _add_greedy_options(p)
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes and print the report")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait limit in seconds (default 600)")
+    p.add_argument("--poll-interval", type=float, default=0.5)
+    p.add_argument("-o", "--output", default=None,
+                   help="with --wait: write the simplified netlist here")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="list/inspect/cancel jobs on a server")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="a job id (omit to list all jobs)")
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("--result", action="store_true",
+                   help="fetch the finished job's outcome")
+    p.add_argument("--cancel", action="store_true",
+                   help="request cancellation of the job")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_jobs)
 
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)

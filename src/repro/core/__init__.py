@@ -1,19 +1,35 @@
 """The paper's primary contribution, packaged as a one-call API."""
 
 from .api import (
+    SCHEMA_VERSION,
     SimplifyOutcome,
     SimplifyRequest,
     format_report,
     simplify,
-    simplify_for_error_tolerance,
     verify_simplification,
+)
+from .errors import (
+    BudgetExhaustedError,
+    CompileError,
+    InvalidRequestError,
+    ReproError,
+    UnsupportedSchemaVersionError,
+    error_body,
+    error_from_body,
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
     "SimplifyRequest",
     "SimplifyOutcome",
     "simplify",
-    "simplify_for_error_tolerance",
     "verify_simplification",
     "format_report",
+    "ReproError",
+    "InvalidRequestError",
+    "UnsupportedSchemaVersionError",
+    "CompileError",
+    "BudgetExhaustedError",
+    "error_body",
+    "error_from_body",
 ]

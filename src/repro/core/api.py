@@ -20,36 +20,182 @@ exactly, the second run is skipped (counter
 ``api.fom_runs_skipped``): no further commit could be accepted, so
 re-running cannot find a larger reduction.
 
-The pre-1.0 keyword API (``simplify_for_error_tolerance``) still works
-but emits a :class:`DeprecationWarning`; see README.md for the
-migration table.
+Both payloads carry a ``schema_version`` field in their JSON forms
+(:data:`SCHEMA_VERSION`).  Readers accept the current version and
+older ones and reject payloads written by a *newer* schema with a
+clear upgrade error -- the same policy the run journal uses -- so a
+stored request/outcome is always either readable or loudly
+unreadable, never silently misread.  Validation failures raise
+:class:`~repro.core.errors.InvalidRequestError` (a
+:class:`ValueError` subclass) from the typed error taxonomy
+(:mod:`repro.core.errors`).
+
+The pre-1.0 keyword API (``simplify_for_error_tolerance``, deprecated
+since 1.0) has been removed; see README.md for the migration table.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import logging
+import math
 import os
 import time
-import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..circuit import Circuit, dump_bench
-from ..metrics.errors import rs_max
+from ..circuit import Circuit, dump_bench, dumps_bench, loads_bench
+from ..metrics.errors import ErrorMetrics, rs_max
 from ..metrics.estimate import MetricsEstimator
 from ..obs.core import get_active
-from ..simplify.greedy import GreedyConfig, GreedyResult, circuit_simplify
+from ..simplify.greedy import (
+    GreedyConfig,
+    GreedyResult,
+    IterationRecord,
+    circuit_simplify,
+)
+from .errors import InvalidRequestError, UnsupportedSchemaVersionError
 
 __all__ = [
+    "SCHEMA_VERSION",
     "SimplifyRequest",
     "SimplifyOutcome",
     "simplify",
-    "simplify_for_error_tolerance",
     "verify_simplification",
     "format_report",
 ]
+
+#: Version of the JSON wire schema shared by :class:`SimplifyRequest`
+#: and :class:`SimplifyOutcome`.  Bump it when a round-trip field is
+#: added or its meaning changes; readers accept <= this and reject >.
+SCHEMA_VERSION = 1
+
+#: Request fields that do not change the mathematical outcome of a run
+#: -- durability paths, parallelism and sampling knobs (parallel runs
+#: are bit-identical to serial ones).  They are excluded from
+#: :meth:`SimplifyRequest.fingerprint`, so two submissions differing
+#: only here share one result-cache entry.
+_NON_SEMANTIC_FIELDS = ("workers", "checkpoint", "journal", "telemetry_interval")
+
+
+def _check_schema_version(what: str, version: Any) -> None:
+    """Enforce the shared accept-current-and-older version policy.
+
+    ``None`` (a payload written before the field existed) is treated
+    as version 1 -- the wire shape is unchanged, only the marker is
+    new -- so pre-1.1 stored requests stay loadable.
+    """
+    if version is None:
+        return
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise InvalidRequestError(
+            f"{what} has a non-integer schema_version {version!r}"
+        )
+    if version < 1:
+        raise InvalidRequestError(
+            f"{what} has an invalid schema_version {version}"
+        )
+    if version > SCHEMA_VERSION:
+        raise UnsupportedSchemaVersionError(
+            f"unsupported {what} schema_version {version} "
+            f"(this build reads up to v{SCHEMA_VERSION}); "
+            f"upgrade repro to read this {what}"
+        )
+
+
+def _circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
+    """JSON form of a circuit: bench text plus the annotations the
+    ``.bench`` format cannot carry (weights, data flags)."""
+    return {
+        "name": circuit.name,
+        "bench": dumps_bench(circuit),
+        "output_weights": {o: int(w) for o, w in circuit.output_weights.items()},
+        "data_outputs": list(circuit.data_outputs),
+    }
+
+
+def _circuit_from_dict(data: Dict[str, Any]) -> Circuit:
+    try:
+        circuit = loads_bench(data["bench"], name=data.get("name", "bench_circuit"))
+        for o, w in (data.get("output_weights") or {}).items():
+            circuit.output_weights[o] = int(w)
+        data_outputs = data.get("data_outputs")
+        if data_outputs is not None:
+            circuit.data_outputs = [o for o in circuit.outputs if o in set(data_outputs)]
+        return circuit
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequestError(f"bad circuit payload: {exc}") from exc
+
+
+def _metrics_to_dict(metrics: Optional[ErrorMetrics]) -> Optional[Dict[str, Any]]:
+    if metrics is None:
+        return None
+    return {
+        "er": metrics.er,
+        "es": metrics.es,
+        "observed_es": metrics.observed_es,
+        "rs_maximum": metrics.rs_maximum,
+        "num_vectors": metrics.num_vectors,
+        "es_mode": metrics.es_mode,
+        "es_bound": metrics.es_bound,
+    }
+
+
+def _metrics_from_dict(data: Optional[Dict[str, Any]]) -> Optional[ErrorMetrics]:
+    if data is None:
+        return None
+    try:
+        return ErrorMetrics(
+            er=float(data["er"]),
+            es=int(data["es"]),
+            observed_es=int(data["observed_es"]),
+            rs_maximum=int(data["rs_maximum"]),
+            num_vectors=int(data["num_vectors"]),
+            es_mode=str(data["es_mode"]),
+            es_bound=None if data.get("es_bound") is None else int(data["es_bound"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequestError(f"bad metrics payload: {exc}") from exc
+
+
+def _iteration_to_dict(rec: IterationRecord) -> Dict[str, Any]:
+    from ..parallel.checkpoint import fault_detail
+
+    return {
+        "index": rec.index,
+        "fault": fault_detail(rec.fault),
+        "area_before": rec.area_before,
+        "area_after": rec.area_after,
+        "metrics": _metrics_to_dict(rec.metrics),
+        # JSON has no Infinity literal; the journal uses null for the
+        # prepass "free commit" FOM and so does this payload.
+        "fom_value": None if math.isinf(rec.fom_value) else rec.fom_value,
+        "candidates_evaluated": rec.candidates_evaluated,
+        "phase": rec.phase,
+    }
+
+
+def _iteration_from_dict(data: Dict[str, Any]) -> IterationRecord:
+    from ..parallel.checkpoint import fault_from_detail
+
+    try:
+        return IterationRecord(
+            index=int(data["index"]),
+            fault=fault_from_detail(data["fault"]),
+            area_before=int(data["area_before"]),
+            area_after=int(data["area_after"]),
+            metrics=_metrics_from_dict(data["metrics"]),
+            fom_value=(
+                float("inf") if data.get("fom_value") is None
+                else float(data["fom_value"])
+            ),
+            candidates_evaluated=int(data["candidates_evaluated"]),
+            phase=str(data.get("phase", "greedy")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequestError(f"bad iteration payload: {exc}") from exc
 
 logger = logging.getLogger("repro.core")
 
@@ -138,27 +284,29 @@ class SimplifyRequest:
 
     def __post_init__(self) -> None:
         if (self.rs_threshold is None) == (self.rs_pct_threshold is None):
-            raise ValueError(
+            raise InvalidRequestError(
                 "give exactly one of rs_threshold / rs_pct_threshold"
             )
         if self.fom not in _FOMS:
-            raise ValueError(f"fom must be one of {_FOMS}, got {self.fom!r}")
+            raise InvalidRequestError(
+                f"fom must be one of {_FOMS}, got {self.fom!r}"
+            )
         if self.es_mode not in _ES_MODES:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"es_mode must be one of {_ES_MODES}, got {self.es_mode!r}"
             )
         if self.weights not in _WEIGHTS:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"weights must be one of {_WEIGHTS}, got {self.weights!r}"
             )
         if self.engine is not None and self.engine not in _REQUEST_ENGINES:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"engine must be one of {_REQUEST_ENGINES}, got {self.engine!r}"
             )
         if self.num_vectors <= 0:
-            raise ValueError("num_vectors must be positive")
+            raise InvalidRequestError("num_vectors must be positive")
         if self.telemetry_interval is not None and self.telemetry_interval <= 0:
-            raise ValueError("telemetry_interval must be positive seconds")
+            raise InvalidRequestError("telemetry_interval must be positive seconds")
 
     # ------------------------------------------------------------------
     # construction
@@ -201,14 +349,37 @@ class SimplifyRequest:
     @classmethod
     def from_json(cls, text: str) -> "SimplifyRequest":
         """Inverse of :meth:`to_json`; unknown keys are rejected."""
-        data = json.loads(text)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidRequestError(f"request is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SimplifyRequest":
+        """Build a request from an already-parsed JSON object.
+
+        ``schema_version`` follows the journal-version policy: absent
+        (pre-versioned writers) and <= :data:`SCHEMA_VERSION` are
+        accepted, newer versions are rejected with an upgrade hint.
+        Unknown keys are rejected -- a field this build has never heard
+        of means the payload is newer or wrong, and either way it must
+        not be silently dropped.
+        """
         if not isinstance(data, dict):
-            raise ValueError("request JSON must be an object")
+            raise InvalidRequestError("request JSON must be an object")
+        data = dict(data)
+        _check_schema_version("request", data.pop("schema_version", None))
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
-            raise ValueError(f"unknown request field(s): {', '.join(unknown)}")
-        return cls(**data)
+            raise InvalidRequestError(
+                f"unknown request field(s): {', '.join(unknown)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise InvalidRequestError(f"bad request payload: {exc}") from exc
 
     # ------------------------------------------------------------------
     # derivation
@@ -231,12 +402,33 @@ class SimplifyRequest:
             fom=resolved, **{k: getattr(self, k) for k in _GREEDY_FIELDS}
         )
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready form of this request (versioned)."""
         data = dataclasses.asdict(self)
         for key in ("checkpoint", "journal"):
             if data[key] is not None:
                 data[key] = os.fspath(data[key])
-        return json.dumps(data, indent=indent)
+        data["schema_version"] = SCHEMA_VERSION
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def fingerprint(self) -> str:
+        """Content digest of the *semantic* request fields.
+
+        Durability paths and parallelism knobs
+        (:data:`_NON_SEMANTIC_FIELDS`) are excluded: parallel scoring
+        is bit-identical to serial scoring and journal paths do not
+        change the result, so requests differing only there share one
+        result-cache entry.  ``schema_version`` is excluded too -- the
+        digest covers run semantics, not wire framing.
+        """
+        data = dataclasses.asdict(self)
+        for key in _NON_SEMANTIC_FIELDS:
+            data.pop(key, None)
+        canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
     def weighted_circuit(self, circuit: Circuit) -> Circuit:
         """The circuit this request actually optimizes.
@@ -347,6 +539,96 @@ class SimplifyOutcome:
         else:
             dump_bench(self.result.simplified, path)
 
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready form of this outcome (versioned).
+
+        The winning :class:`GreedyResult` round-trips completely
+        (netlists as annotated bench text, faults and iterations
+        structurally, like the checkpoint journal); the constituent
+        per-FOM runs are summarized rather than duplicated -- each run
+        embeds a full circuit pair, and the loser's only queryable
+        facts are its headline numbers.
+        """
+        from ..parallel.checkpoint import fault_detail
+
+        result = self.result
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "SimplifyOutcome",
+            "request": self.request.to_dict(),
+            "elapsed_s": self.elapsed_s,
+            "winning_fom": self.winning_fom,
+            "runs": [
+                {
+                    "fom": fom,
+                    "winner": res is result,
+                    "area_reduction": res.area_reduction,
+                    "area_reduction_pct": res.area_reduction_pct,
+                    "iterations": len(res.iterations),
+                    "rs": None if res.final_metrics is None else res.final_metrics.rs,
+                }
+                for fom, res in self.runs
+            ],
+            "result": {
+                "original": _circuit_to_dict(result.original),
+                "simplified": _circuit_to_dict(result.simplified),
+                "rs_threshold": result.rs_threshold,
+                "config": dataclasses.asdict(result.config),
+                "faults": [fault_detail(f) for f in result.faults],
+                "iterations": [_iteration_to_dict(r) for r in result.iterations],
+                "final_metrics": _metrics_to_dict(result.final_metrics),
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SimplifyOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output.
+
+        The reconstructed object carries the winning run only (``runs``
+        holds the one winner), which keeps ``winning_fom``, ``report()``
+        ``verify()`` and ``save()`` all working on a loaded outcome.
+        """
+        from ..parallel.checkpoint import fault_from_detail, greedy_config_from
+
+        if not isinstance(data, dict):
+            raise InvalidRequestError("outcome JSON must be an object")
+        _check_schema_version("outcome", data.get("schema_version"))
+        try:
+            res = data["result"]
+            result = GreedyResult(
+                original=_circuit_from_dict(res["original"]),
+                simplified=_circuit_from_dict(res["simplified"]),
+                rs_threshold=float(res["rs_threshold"]),
+                config=greedy_config_from(res.get("config") or {}),
+                faults=[fault_from_detail(d) for d in res.get("faults", [])],
+                iterations=[_iteration_from_dict(d) for d in res.get("iterations", [])],
+                final_metrics=_metrics_from_dict(res.get("final_metrics")),
+            )
+            request = SimplifyRequest.from_dict(data["request"])
+            winning_fom = data.get("winning_fom") or result.config.fom
+            return cls(
+                result=result,
+                request=request,
+                elapsed_s=float(data.get("elapsed_s") or 0.0),
+                runs=((winning_fom, result),),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, InvalidRequestError):
+                raise
+            raise InvalidRequestError(f"bad outcome payload: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimplifyOutcome":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidRequestError(f"outcome is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
 
 def simplify(
     circuit: Circuit, request: SimplifyRequest, obs=None, progress=None
@@ -419,35 +701,6 @@ def _budget_exhausted(result: GreedyResult, threshold: float) -> bool:
         return False
     remaining = threshold - result.final_metrics.rs
     return remaining <= 1e-12 * max(1.0, abs(threshold))
-
-
-def simplify_for_error_tolerance(
-    circuit: Circuit,
-    rs_threshold: Optional[float] = None,
-    rs_pct_threshold: Optional[float] = None,
-    config: Optional[GreedyConfig] = None,
-) -> GreedyResult:
-    """Deprecated pre-1.0 entry point; use :class:`SimplifyRequest`.
-
-    Equivalent to ``SimplifyRequest.from_config(config, fom="best",
-    ...).run(circuit).result``: both paper FOMs are tried and the
-    better result is returned.  Scheduled for removal two minor
-    releases after 1.1 (see README.md migration notes).
-    """
-    warnings.warn(
-        "simplify_for_error_tolerance() is deprecated; build a "
-        "SimplifyRequest and call .run(circuit) (or repro.core.api.simplify)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    cfg = config or GreedyConfig()
-    request = SimplifyRequest.from_config(
-        cfg,
-        fom="best",
-        rs_threshold=rs_threshold,
-        rs_pct_threshold=rs_pct_threshold,
-    )
-    return request.run(circuit).result
 
 
 def verify_simplification(

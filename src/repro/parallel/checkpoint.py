@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..circuit import Circuit
+from ..core.errors import CheckpointMismatchError
 from ..faults.model import Line, StuckAtFault
 from ..metrics.errors import ErrorMetrics
 from ..obs.journal import JournalError, load_journal
@@ -54,8 +55,13 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 
-class CheckpointError(ValueError):
-    """A checkpoint cannot be loaded, validated, or replayed."""
+class CheckpointError(CheckpointMismatchError):
+    """A checkpoint cannot be loaded, validated, or replayed.
+
+    Part of the typed error taxonomy (:mod:`repro.core.errors`): the
+    job server maps it to HTTP 409 with code ``checkpoint_mismatch``.
+    Still a :class:`ValueError` subclass for pre-taxonomy callers.
+    """
 
 
 # ----------------------------------------------------------------------

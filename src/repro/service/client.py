@@ -1,0 +1,134 @@
+"""Stdlib HTTP client for the job server (``urllib``, no dependencies).
+
+The CLI's ``repro submit`` / ``repro jobs`` subcommands and the tests
+all talk to the server through this one class, so the wire protocol is
+exercised end-to-end everywhere.  Error responses are rehydrated into
+the same typed taxonomy the server raised
+(:func:`repro.core.errors.error_from_body`): a client catching
+:class:`~repro.core.errors.QueueFullError` does not care which side of
+the socket it was on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.api import SimplifyOutcome, SimplifyRequest
+from ..core.errors import ReproError, ServiceUnavailableError, error_from_body
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one repro job server at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        parse: bool = True,
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, method=method, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                text = resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            try:
+                raise error_from_body(json.loads(body)) from None
+            except (json.JSONDecodeError, TypeError):
+                raise ReproError(
+                    f"{method} {path} failed with HTTP {exc.code}: {body[:200]}"
+                ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+        return json.loads(text) if parse else text
+
+    # -- API ---------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._call("GET", "/v1/healthz")
+
+    def metrics(self) -> str:
+        """The raw OpenMetrics exposition text."""
+        return self._call("GET", "/v1/metrics", parse=False)
+
+    def upload_netlist(self, bench_text: str) -> str:
+        """Store a netlist server-side; returns its sha256 handle."""
+        return self._call("POST", "/v1/netlists", {"netlist": bench_text})[
+            "netlist_sha256"
+        ]
+
+    def submit(
+        self,
+        request: Union[SimplifyRequest, Dict],
+        netlist: Optional[str] = None,
+        netlist_sha256: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Dict:
+        """Submit one job; returns the server's job snapshot."""
+        if isinstance(request, SimplifyRequest):
+            request = request.to_dict()
+        payload: Dict[str, Any] = {"request": request}
+        if netlist is not None:
+            payload["netlist"] = netlist
+        if netlist_sha256 is not None:
+            payload["netlist_sha256"] = netlist_sha256
+        if name is not None:
+            payload["name"] = name
+        return self._call("POST", "/v1/jobs", payload)
+
+    def jobs(self) -> List[Dict]:
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result_json(self, job_id: str) -> str:
+        """The stored outcome document, verbatim."""
+        return self._call("GET", f"/v1/jobs/{job_id}/result", parse=False)
+
+    def result(self, job_id: str) -> SimplifyOutcome:
+        """The job's :class:`SimplifyOutcome`, rehydrated."""
+        return SimplifyOutcome.from_json(self.result_json(job_id))
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.2,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; returns the
+        final snapshot.  Raises :class:`ServiceUnavailableError` on
+        timeout (the job keeps running server-side)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.status(job_id)
+            if snap["state"] in ("done", "failed", "cancelled"):
+                return snap
+            if time.monotonic() >= deadline:
+                raise ServiceUnavailableError(
+                    f"timed out after {timeout:g}s waiting for {job_id} "
+                    f"(last state: {snap['state']})"
+                )
+            time.sleep(poll_interval)

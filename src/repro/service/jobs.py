@@ -1,0 +1,313 @@
+"""Job records and the bounded FIFO job store.
+
+A :class:`Job` is one submitted ``SimplifyRequest`` bound to one
+netlist.  Its durable state lives in a per-job directory under the
+service data dir::
+
+    jobs/<id>/
+      request.json     # the submitted SimplifyRequest (versioned JSON)
+      netlist.bench    # the exact netlist text the job optimizes
+      checkpoint.jsonl # run journal doubling as the crash checkpoint
+      journal.jsonl    # observability journal (uploaded as artifact)
+      progress.json    # atomic heartbeat snapshot (live progress feed)
+      outcome.json     # the SimplifyOutcome, written once on success
+      error.json       # typed error body, written once on failure
+
+(``fom="best"`` requests suffix checkpoint/journal per constituent
+FOM, exactly like the CLI.)  Because the checkpoint is the same
+journal ``circuit_simplify`` resumes from, *re-running a job directory
+is the crash-recovery story*: a worker that died mid-run left a
+readable prefix, and the next attempt replays it and continues.
+
+The :class:`JobStore` owns the id space, the directories, and a
+bounded FIFO queue (``queue.Queue``).  Submission is content-aware:
+each job carries a ``cache_key = (circuit_fingerprint, request
+fingerprint)``; a submit whose key matches a live (queued/running) or
+completed job returns that job instead of enqueueing a duplicate --
+the in-flight half of the result-cache contract (the across-restart
+half is :class:`~repro.service.cache.ResultCache`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.api import SimplifyRequest
+from ..core.errors import JobNotFoundError, QueueFullError
+
+__all__ = ["Job", "JobStore", "ACTIVE_STATES", "TERMINAL_STATES"]
+
+#: Job lifecycle: queued -> running -> done | failed | cancelled
+#: (running -> queued again on a worker crash, until the retry budget).
+ACTIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One submitted simplification run and its service-side state."""
+
+    id: str
+    dir: str
+    request: SimplifyRequest
+    cache_key: str
+    circuit_name: str
+    state: str = "queued"
+    cached: bool = False
+    deduplicated: bool = False
+    attempts: int = 0
+    max_attempts: int = 3
+    error: Optional[Dict] = None
+    worker_pid: Optional[int] = None
+    submitted_unix: float = field(default_factory=time.time)
+    finished_unix: Optional[float] = None
+    cancel_requested: bool = False
+
+    # paths ------------------------------------------------------------
+    @property
+    def netlist_path(self) -> str:
+        return os.path.join(self.dir, "netlist.bench")
+
+    @property
+    def request_path(self) -> str:
+        return os.path.join(self.dir, "request.json")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.dir, "checkpoint.jsonl")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.dir, "journal.jsonl")
+
+    @property
+    def progress_path(self) -> str:
+        return os.path.join(self.dir, "progress.json")
+
+    @property
+    def outcome_path(self) -> str:
+        return os.path.join(self.dir, "outcome.json")
+
+    @property
+    def error_path(self) -> str:
+        return os.path.join(self.dir, "error.json")
+
+    # views --------------------------------------------------------------
+    def progress(self) -> Optional[Dict]:
+        """The latest heartbeat snapshot, if the runner wrote one.
+
+        The file is replaced atomically (tmp + ``os.replace``), so a
+        reader never sees a torn JSON; a racing first write can still
+        leave it momentarily absent."""
+        try:
+            with open(self.progress_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def snapshot(self) -> Dict:
+        """The wire form served by ``GET /v1/jobs/<id>``."""
+        body = {
+            "job_id": self.id,
+            "state": self.state,
+            "circuit": self.circuit_name,
+            "cache_key": self.cache_key,
+            "cached": self.cached,
+            "deduplicated": self.deduplicated,
+            "attempts": self.attempts,
+            "submitted_unix": self.submitted_unix,
+            "finished_unix": self.finished_unix,
+            "cancel_requested": self.cancel_requested,
+        }
+        if self.worker_pid is not None and self.state == "running":
+            body["worker_pid"] = self.worker_pid
+        if self.error is not None:
+            body["error"] = self.error.get("error", self.error)
+        progress = self.progress()
+        if progress is not None:
+            body["progress"] = progress
+        return body
+
+
+class JobStore:
+    """Thread-safe registry + bounded FIFO queue of jobs.
+
+    All mutation happens under one lock; the queue itself only carries
+    job ids (the worker re-checks the record after popping, so a
+    cancel that lands while the id is queued wins the race).
+    """
+
+    def __init__(self, root: str, queue_limit: int = 64, max_attempts: int = 3):
+        self.root = os.path.abspath(root)
+        os.makedirs(os.path.join(self.root, "jobs"), exist_ok=True)
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, str] = {}  # cache_key -> newest job id
+        self._queue: "queue.Queue[str]" = queue.Queue(maxsize=queue_limit)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.max_attempts = max_attempts
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: SimplifyRequest,
+        netlist_text: str,
+        cache_key: str,
+        circuit_name: str,
+    ) -> Job:
+        """Register (or deduplicate) one job and enqueue it.
+
+        Returns an existing job when ``cache_key`` matches one that is
+        queued, running, or done -- the duplicate submission costs no
+        second run.  Failed/cancelled jobs do *not* deduplicate: a
+        resubmit after failure is an explicit retry.
+        """
+        with self._lock:
+            prior_id = self._by_key.get(cache_key)
+            if prior_id is not None:
+                prior = self._jobs.get(prior_id)
+                if prior is not None and prior.state in ("queued", "running", "done"):
+                    prior.deduplicated = True
+                    return prior
+            job_id = f"job-{next(self._ids):06d}"
+            job_dir = os.path.join(self.root, "jobs", job_id)
+            os.makedirs(job_dir, exist_ok=True)
+            job = Job(
+                id=job_id,
+                dir=job_dir,
+                request=request,
+                cache_key=cache_key,
+                circuit_name=circuit_name,
+                max_attempts=self.max_attempts,
+            )
+            with open(job.netlist_path, "w", encoding="utf-8") as fh:
+                fh.write(netlist_text)
+            with open(job.request_path, "w", encoding="utf-8") as fh:
+                fh.write(request.to_json())
+                fh.write("\n")
+            try:
+                self._queue.put_nowait(job.id)
+            except queue.Full:
+                raise QueueFullError(
+                    f"job queue is full ({self._queue.maxsize} pending); "
+                    f"retry later"
+                ) from None
+            self._jobs[job.id] = job
+            self._by_key[cache_key] = job.id
+            return job
+
+    def complete_from_cache(
+        self,
+        request: SimplifyRequest,
+        cache_key: str,
+        circuit_name: str,
+    ) -> Job:
+        """Register a job that is already satisfied by the result cache.
+
+        No directory contents beyond the request marker, no queue slot:
+        the job is born ``done`` and its result is served straight from
+        the cache entry."""
+        with self._lock:
+            job_id = f"job-{next(self._ids):06d}"
+            job_dir = os.path.join(self.root, "jobs", job_id)
+            os.makedirs(job_dir, exist_ok=True)
+            job = Job(
+                id=job_id,
+                dir=job_dir,
+                request=request,
+                cache_key=cache_key,
+                circuit_name=circuit_name,
+                state="done",
+                cached=True,
+                finished_unix=time.time(),
+            )
+            with open(job.request_path, "w", encoding="utf-8") as fh:
+                fh.write(request.to_json())
+                fh.write("\n")
+            self._jobs[job.id] = job
+            self._by_key[cache_key] = job.id
+            return job
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return job
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def next_job(self, timeout: float = 0.2) -> Optional[Job]:
+        """Pop the next runnable job; ``None`` on timeout.
+
+        Cancelled-while-queued jobs are finalized here (their queue
+        slot is consumed) instead of reaching a worker."""
+        try:
+            job_id = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.cancel_requested:
+                self._finish_locked(job, "cancelled")
+                return None
+            job.state = "running"
+            job.attempts += 1
+            return job
+
+    def requeue(self, job: Job) -> bool:
+        """Put a crashed job back in line (resume path).
+
+        Returns False when the retry budget is exhausted or the queue
+        is full -- the caller fails the job with the reason."""
+        with self._lock:
+            if job.attempts >= job.max_attempts:
+                return False
+            try:
+                self._queue.put_nowait(job.id)
+            except queue.Full:
+                return False
+            job.state = "queued"
+            job.worker_pid = None
+            return True
+
+    def finish(self, job: Job, state: str, error: Optional[Dict] = None) -> None:
+        with self._lock:
+            self._finish_locked(job, state, error)
+
+    def _finish_locked(self, job: Job, state: str, error: Optional[Dict] = None) -> None:
+        job.state = state
+        job.error = error
+        job.worker_pid = None
+        job.finished_unix = time.time()
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; the actual teardown is cooperative.
+
+        Queued jobs die when a worker (or ``next_job``) next sees them;
+        running jobs are killed by the worker pool, which watches this
+        flag.  Finished jobs are left untouched."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state in ACTIVE_STATES:
+                job.cancel_requested = True
+        return job

@@ -1,0 +1,118 @@
+"""Child-process job executor: ``python -m repro.service.runner <jobdir>``.
+
+The worker pool never runs a simplification in the server process --
+each attempt is a child process executing this module against one job
+directory (see :mod:`repro.service.jobs` for the layout).  That
+isolation is what makes the crash-recovery contract simple: a worker
+that dies (OOM, SIGKILL, power cut) leaves a readable checkpoint
+prefix and *nothing else* -- no half-updated server state -- and the
+supervisor just re-queues the job.  The next attempt lands back here,
+``circuit_simplify`` finds the checkpoint journal and resumes from the
+last committed iteration, bit-identical to an uninterrupted run.
+
+Exit protocol (what the supervisor reads):
+
+* ``outcome.json`` exists -> success (written atomically, so its
+  presence implies it is complete);
+* ``error.json`` exists -> typed failure, do not retry (the input is
+  bad; re-running cannot fix it);
+* neither -> the process crashed mid-run; re-queue and resume.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+
+from ..circuit import loads_bench
+from ..core.api import SimplifyOutcome, SimplifyRequest, simplify
+from ..core.errors import CompileError, ReproError, error_body
+from ..obs.progress import ProgressReporter
+
+__all__ = ["run_job", "main"]
+
+logger = logging.getLogger("repro.service.runner")
+
+
+def _atomic_write(path: str, text: str) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    os.replace(tmp, path)
+
+
+def run_job(job_dir: str) -> SimplifyOutcome:
+    """Execute the job stored in ``job_dir`` and persist its outcome.
+
+    The stored request's durability fields are overridden with the
+    job-local paths -- the service owns placement, not the submitter --
+    and a :class:`ProgressReporter` feeds ``progress.json`` so the
+    server can answer status polls with live numbers.
+    """
+    with open(os.path.join(job_dir, "request.json"), "r", encoding="utf-8") as fh:
+        request = SimplifyRequest.from_json(fh.read())
+    with open(os.path.join(job_dir, "netlist.bench"), "r", encoding="utf-8") as fh:
+        bench_text = fh.read()
+    name = _bench_name(bench_text)
+    try:
+        circuit = loads_bench(bench_text, name=name)
+    except ValueError as exc:
+        raise CompileError(f"netlist does not parse: {exc}") from exc
+
+    request = request.replace(
+        checkpoint=os.path.join(job_dir, "checkpoint.jsonl"),
+        journal=os.path.join(job_dir, "journal.jsonl"),
+    )
+    progress = ProgressReporter(
+        json_path=os.path.join(job_dir, "progress.json"),
+        interval_s=0.2,
+    )
+    try:
+        outcome = simplify(circuit, request, progress=progress)
+    finally:
+        progress.close()
+    _atomic_write(os.path.join(job_dir, "outcome.json"), outcome.to_json())
+    return outcome
+
+
+def _bench_name(text: str) -> str:
+    """The circuit name from the conventional ``# name`` header line."""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            token = line.lstrip("#").strip().split()
+            if token:
+                return token[0]
+        break
+    return "submitted"
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.service.runner <jobdir>", file=sys.stderr)
+        return 2
+    job_dir = argv[0]
+    try:
+        run_job(job_dir)
+        return 0
+    except ReproError as exc:
+        # Deterministic failure: record the typed body so the server
+        # can replay it to the client, and tell the supervisor (via
+        # error.json existing) not to burn retries on bad input.
+        _atomic_write(
+            os.path.join(job_dir, "error.json"),
+            json.dumps(error_body(exc), indent=2, sort_keys=True),
+        )
+        logger.error("job %s failed: %s", job_dir, exc)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

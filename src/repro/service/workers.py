@@ -1,0 +1,186 @@
+"""Worker pool: supervisor threads driving child-process job runners.
+
+Each worker thread loops over :meth:`JobStore.next_job` and runs the
+popped job as a *child process* (``python -m repro.service.runner
+<jobdir>``).  The thread is a supervisor, not an executor: it watches
+the child and the job's cancel flag, then classifies the exit by what
+the runner left behind (see :mod:`repro.service.runner`):
+
+* ``outcome.json``  -> success: store the result in the cache, mark done;
+* ``error.json``    -> typed deterministic failure: mark failed, no retry;
+* neither           -> the child crashed (SIGKILL, OOM, ...): re-queue
+  within the retry budget.  The next attempt resumes from the job's
+  checkpoint journal, so crash-then-resume completes bit-identically
+  to an uninterrupted run.
+
+Cancellation is cooperative-at-the-supervisor: the server flips
+``cancel_requested`` and the watching thread terminates the child.
+
+Service counters recorded into the shared registry:
+``service.jobs_completed`` / ``jobs_failed`` / ``jobs_cancelled`` /
+``jobs_resumed`` / ``cache_stores`` (plus the server-side
+``jobs_submitted`` / ``cache_hits`` / ``jobs_deduplicated``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import List, Optional
+
+from ..core.errors import BudgetExhaustedError, JobCancelledError, error_body
+from ..obs.core import NULL, Instrumentation
+from .cache import ResultCache
+from .jobs import Job, JobStore
+
+__all__ = ["WorkerPool"]
+
+logger = logging.getLogger("repro.service.workers")
+
+_POLL_S = 0.05
+
+
+def _runner_env() -> dict:
+    """Child env with this repro importable regardless of install mode."""
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = pkg_root if not existing else os.pathsep.join([pkg_root, existing])
+    return env
+
+
+class WorkerPool:
+    """``workers`` supervisor threads consuming one :class:`JobStore`."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: ResultCache,
+        workers: int = 2,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.cache = cache
+        self.workers = workers
+        self.obs = obs if obs is not None else NULL
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._loop, name=f"repro-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.store.next_job(timeout=0.2)
+            if job is None:
+                continue
+            try:
+                self._run_attempt(job)
+            except Exception:  # noqa: BLE001 - supervisor must survive
+                logger.exception("worker crashed supervising %s", job.id)
+                self.store.finish(
+                    job,
+                    "failed",
+                    error_body(BudgetExhaustedError("worker supervisor error")),
+                )
+                self.obs.incr("service.jobs_failed")
+
+    def _run_attempt(self, job: Job) -> None:
+        """One child-process attempt at ``job`` (already marked running)."""
+        if job.attempts > 1:
+            # Crash recovery: the previous attempt left a checkpoint
+            # prefix that this one resumes from.
+            self.obs.incr("service.jobs_resumed")
+            logger.info("resuming %s (attempt %d)", job.id, job.attempts)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.runner", job.dir],
+            env=_runner_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        job.worker_pid = proc.pid
+        cancelled = False
+        while True:
+            if proc.poll() is not None:
+                break
+            if job.cancel_requested or self._stop.is_set():
+                cancelled = job.cancel_requested
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+                break
+            time.sleep(_POLL_S)
+
+        if cancelled:
+            self.store.finish(
+                job, "cancelled", error_body(JobCancelledError("cancelled by client"))
+            )
+            self.obs.incr("service.jobs_cancelled")
+            return
+        if self._stop.is_set() and not os.path.exists(job.outcome_path):
+            # Shutdown interrupted the run; leave it queued for a
+            # future server generation (the checkpoint resumes it).
+            self.store.requeue(job)
+            return
+
+        if os.path.exists(job.outcome_path):
+            with open(job.outcome_path, "r", encoding="utf-8") as fh:
+                self.cache.put(job.cache_key, fh.read())
+            self.obs.incr("service.cache_stores")
+            self.store.finish(job, "done")
+            self.obs.incr("service.jobs_completed")
+            logger.info("%s done (attempt %d)", job.id, job.attempts)
+            return
+        if os.path.exists(job.error_path):
+            import json
+
+            with open(job.error_path, "r", encoding="utf-8") as fh:
+                body = json.load(fh)
+            self.store.finish(job, "failed", body)
+            self.obs.incr("service.jobs_failed")
+            logger.warning("%s failed: %s", job.id, body.get("error", {}).get("code"))
+            return
+
+        # No artifact: the child died mid-run.  Re-queue for a resumed
+        # attempt, or fail when the retry budget is spent.
+        if self.store.requeue(job):
+            logger.warning(
+                "%s worker died (attempt %d); re-queued for resume",
+                job.id,
+                job.attempts,
+            )
+            return
+        self.store.finish(
+            job,
+            "failed",
+            error_body(
+                BudgetExhaustedError(
+                    f"retry budget exhausted after {job.attempts} attempts"
+                )
+            ),
+        )
+        self.obs.incr("service.jobs_failed")

@@ -1,13 +1,15 @@
 """Top-level API: one-call simplification, verification, reporting."""
 
+import json
+
 import pytest
 
 from repro import (
     GreedyConfig,
+    InvalidRequestError,
     SimplifyOutcome,
     SimplifyRequest,
     format_report,
-    simplify_for_error_tolerance,
     verify_simplification,
 )
 from tests.conftest import build_ripple_adder
@@ -106,23 +108,72 @@ def test_weighted_circuit_copies():
     assert req.replace(weights="netlist").weighted_circuit(ckt) is ckt
 
 
-def test_deprecated_shim_still_works(outcome):
-    ckt = outcome.original
-    with pytest.warns(DeprecationWarning):
-        legacy = simplify_for_error_tolerance(
-            ckt,
-            rs_pct_threshold=5.0,
-            config=GreedyConfig(num_vectors=1500, seed=2, candidate_limit=80),
-        )
-    assert legacy.area_reduction == outcome.area_reduction
+def test_outcome_json_round_trip(outcome):
+    """to_json/from_json preserves the outcome structurally.
+
+    Bench text may re-order gates through a parse cycle, so circuits
+    are compared by area/report rather than verbatim text.
+    """
+    from repro import SCHEMA_VERSION
+
+    loaded = SimplifyOutcome.from_json(outcome.to_json())
+    assert loaded.request == outcome.request
+    assert loaded.area_reduction == outcome.area_reduction
+    assert loaded.simplified.area() == outcome.simplified.area()
+    assert loaded.original.area() == outcome.original.area()
+    assert loaded.winning_fom == outcome.winning_fom
+    assert [str(f) for f in loaded.faults] == [str(f) for f in outcome.faults]
+    assert len(loaded.iterations) == len(outcome.iterations)
+    assert loaded.final_metrics == outcome.final_metrics
+    assert loaded.report() == outcome.report()
+    # weights survive (bench text cannot carry them on its own)
+    assert loaded.simplified.output_weights == outcome.simplified.output_weights
+    data = json.loads(outcome.to_json())
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert data["kind"] == "SimplifyOutcome"
+    # the per-FOM run summaries name exactly the executed runs
+    assert [r["fom"] for r in data["runs"]] == [f for f, _ in outcome.runs]
+    assert sum(r["winner"] for r in data["runs"]) == 1
+
+
+def test_outcome_loaded_verify_and_save(outcome, tmp_path):
+    loaded = SimplifyOutcome.from_json(outcome.to_json())
+    assert loaded.verify(exhaustive=True)
+    loaded.save(tmp_path / "loaded.bench")
+    assert (tmp_path / "loaded.bench").exists()
+
+
+def test_outcome_rejects_newer_schema(outcome):
+    from repro import SCHEMA_VERSION, UnsupportedSchemaVersionError
+
+    data = outcome.to_dict()
+    data["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(UnsupportedSchemaVersionError):
+        SimplifyOutcome.from_dict(data)
+
+
+def test_outcome_rejects_garbage():
+    with pytest.raises(ValueError):
+        SimplifyOutcome.from_json("not json")
+    with pytest.raises(ValueError):
+        SimplifyOutcome.from_json("[]")
+    with pytest.raises(ValueError):
+        SimplifyOutcome.from_json('{"kind": "SimplifyOutcome"}')
+
+
+def test_deprecated_shim_removed():
+    """The pre-1.0 keyword API is gone as of 1.1 (see README migration)."""
+    import repro
+
+    assert not hasattr(repro, "simplify_for_error_tolerance")
+    assert "simplify_for_error_tolerance" not in repro.__all__
 
 
 def test_argument_validation():
-    ckt = build_ripple_adder(3)
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError):
-            simplify_for_error_tolerance(ckt)
-    with pytest.raises(ValueError):
+    # Validation raises the typed taxonomy error, which remains a
+    # ValueError for pre-1.1 callers.
+    assert issubclass(InvalidRequestError, ValueError)
+    with pytest.raises(InvalidRequestError):
         SimplifyRequest()  # no threshold
     with pytest.raises(ValueError):
         SimplifyRequest(rs_threshold=1.0, rs_pct_threshold=1.0)

@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro import GreedyConfig, SimplifyRequest
+from repro import (
+    SCHEMA_VERSION,
+    GreedyConfig,
+    SimplifyRequest,
+    UnsupportedSchemaVersionError,
+)
 
 
 def test_json_round_trip():
@@ -116,6 +121,52 @@ def test_from_cli_args():
     assert req.redundancy_prepass is False  # --no-prepass
     assert req.workers == 2
     assert req.checkpoint == "ck.jsonl"
+
+
+def test_schema_version_in_wire_form():
+    req = SimplifyRequest(rs_threshold=1.0)
+    data = req.to_dict()
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert SimplifyRequest.from_dict(data) == req
+
+
+def test_schema_version_accepts_older_and_absent():
+    data = SimplifyRequest(rs_threshold=1.0).to_dict()
+    # a pre-versioned writer (no marker) is read as v1
+    unversioned = dict(data)
+    del unversioned["schema_version"]
+    assert SimplifyRequest.from_dict(unversioned) == SimplifyRequest.from_dict(data)
+    # v1 is the oldest version; anything <= current must load
+    for version in range(1, SCHEMA_VERSION + 1):
+        assert SimplifyRequest.from_dict({**data, "schema_version": version})
+
+
+def test_schema_version_rejects_newer():
+    data = SimplifyRequest(rs_threshold=1.0).to_dict()
+    data["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(UnsupportedSchemaVersionError, match="upgrade repro"):
+        SimplifyRequest.from_dict(data)
+    # the rejection names both versions, so the operator knows the gap
+    with pytest.raises(UnsupportedSchemaVersionError, match=str(SCHEMA_VERSION)):
+        SimplifyRequest.from_dict(data)
+
+
+def test_schema_version_rejects_garbage():
+    data = SimplifyRequest(rs_threshold=1.0).to_dict()
+    for bad in ("2", 2.0, True, 0, -1):
+        with pytest.raises(ValueError):
+            SimplifyRequest.from_dict({**data, "schema_version": bad})
+
+
+def test_fingerprint_ignores_non_semantic_fields():
+    base = SimplifyRequest(rs_pct_threshold=2.0, seed=3)
+    same = base.replace(
+        workers=8, checkpoint="ck.jsonl", journal="j.jsonl", telemetry_interval=1.0
+    )
+    assert base.fingerprint() == same.fingerprint()
+    # semantic fields do move the digest
+    assert base.fingerprint() != base.replace(seed=4).fingerprint()
+    assert base.fingerprint() != base.replace(fom="area").fingerprint()
 
 
 def test_replace_revalidates():
