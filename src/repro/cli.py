@@ -26,8 +26,13 @@ file extension) and on the built-in benchmark suite:
 * ``serve``      -- run the simplification job server (versioned HTTP
   API, bounded queue, crash-resumable worker pool, result cache)
 * ``submit``     -- submit a netlist to a running job server; with
-  ``--wait`` polls to completion and renders the report
+  ``--wait`` polls to completion and renders the report, with
+  ``--trace-id`` stamps a correlation id through the whole lifetime
 * ``jobs``       -- list/inspect/cancel jobs on a running server
+* ``slo``        -- latency quantiles (p50/p90/p99) from a server's
+  OpenMetrics histograms, with ``--fail-over`` CI gates (exit 3)
+* ``top``        -- live fleet view of a running job server (one
+  refreshing TTY table; ``--once`` prints a single snapshot)
 
 All human-facing output goes through the ``repro`` logging tree
 (INFO -> stdout, WARNING+ -> stderr), configured by the global
@@ -613,11 +618,18 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url, timeout=args.timeout)
     try:
         request = SimplifyRequest.from_cli_args(args)
-        snap = client.submit(request, netlist=bench_text, name=Path(args.netlist).stem)
+        snap = client.submit(
+            request,
+            netlist=bench_text,
+            name=Path(args.netlist).stem,
+            trace_id=args.trace_id,
+        )
         logger.info(f"{snap['job_id']}: {snap['state']}"
                     + (" (served from cache)" if snap.get("cached") else "")
                     + (" (coalesced onto an identical job)"
                        if snap.get("deduplicated") else ""))
+        if snap.get("trace_id"):
+            logger.info(f"trace_id: {snap['trace_id']}")
         if not args.wait:
             logger.info(f"poll with: repro jobs {snap['job_id']} --url {args.url}")
             return 0
@@ -638,6 +650,134 @@ def cmd_submit(args: argparse.Namespace) -> int:
         outcome.save(args.output)
         logger.info(f"approximate netlist written to {args.output}")
     return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from .core import ReproError
+    from .obs.slo import (
+        check_fail_over,
+        parse_fail_over,
+        parse_openmetrics_histograms,
+        render_slo,
+        summarize_histograms,
+    )
+
+    try:
+        gates = parse_fail_over(args.fail_over or [])
+    except ValueError as exc:
+        logger.error(str(exc))
+        return 2
+    if "://" in args.source:
+        from .service import ServiceClient
+
+        try:
+            text = ServiceClient(args.source).metrics()
+        except ReproError as exc:
+            logger.error(f"{exc.code}: {exc}")
+            return 2
+    else:
+        try:
+            with open(args.source, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            logger.error(f"cannot read {args.source}: {exc}")
+            return 2
+    families = parse_openmetrics_histograms(text)
+    if not families:
+        logger.error(f"{args.source}: no histogram families in the exposition "
+                     f"(is the server new enough to export SLO histograms?)")
+        return 2
+    summary = summarize_histograms(families)
+    if args.format == "json":
+        logger.info(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        logger.info(render_slo(summary))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        logger.info(f"SLO summary written to {args.output}")
+    violations = check_fail_over(families, gates)
+    for v in violations:
+        logger.error(f"SLO violation: {v}")
+    return 3 if violations else 0
+
+
+def _top_lines(health, jobs, url: str, limit: int) -> List[str]:
+    """Render one fleet-view frame as plain lines."""
+    states = {}
+    for j in jobs:
+        states[j["state"]] = states.get(j["state"], 0) + 1
+    lines = [
+        f"repro fleet @ {url} -- v{health.get('version', '?')}, "
+        f"{health.get('workers', '?')} workers, "
+        f"queue depth {health.get('queue_depth', '?')}, "
+        f"uptime {health.get('uptime_s', 0.0):.0f}s",
+        "  ".join(f"{s}:{states.get(s, 0)}"
+                  for s in ("queued", "running", "done", "failed", "cancelled")),
+        "",
+        f"{'JOB':<12} {'STATE':<9} {'CIRCUIT':<10} {'ATT':>3} "
+        f"{'ITER':>5} {'AREA':>6} {'RS':>9} {'AGE':>6}  TRACE",
+    ]
+    # Active work floats to the top; within a band, newest first
+    # (ids are zero-padded, so reverse-id order is reverse-submit order).
+    order = {"running": 0, "queued": 1, "done": 2, "failed": 3, "cancelled": 4}
+    ranked = sorted(jobs, key=lambda j: j["job_id"], reverse=True)
+    ranked.sort(key=lambda j: order.get(j["state"], 9))
+    now = time.time()
+    for j in ranked[:limit]:
+        progress = j.get("progress") or {}
+        iteration = progress.get("iteration")
+        area = progress.get("area")
+        rs = progress.get("rs")
+        age = now - (j.get("submitted_unix") or now)
+        trace = (j.get("trace_id") or "")[:16]
+        lines.append(
+            f"{j['job_id']:<12} {j['state']:<9} {j.get('circuit', '?'):<10} "
+            f"{j.get('attempts', 0):>3} "
+            f"{iteration if iteration is not None else '-':>5} "
+            f"{area if area is not None else '-':>6} "
+            f"{f'{rs:.3g}' if isinstance(rs, (int, float)) else '-':>9} "
+            f"{age:>5.0f}s  {trace}"
+        )
+    if len(ranked) > limit:
+        lines.append(f"... and {len(ranked) - limit} more")
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .core import ReproError
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+
+    def frame() -> List[str]:
+        return _top_lines(client.healthz(), client.jobs(), args.url, args.limit)
+
+    if args.once or not sys.stdout.isatty():
+        # One snapshot through the logging tree (the CI/pipe shape).
+        try:
+            for line in frame():
+                logger.info(line)
+        except ReproError as exc:
+            logger.error(f"{exc.code}: {exc}")
+            return 2
+        return 0
+    # Live TTY mode repaints the screen in place; raw terminal control
+    # is deliberately outside the logging tree (same rationale as the
+    # progress heartbeat).
+    try:
+        while True:
+            try:
+                lines = frame()
+            except ReproError as exc:
+                lines = [f"{args.url}: {exc.code}: {exc}"]
+            sys.stdout.write("\x1b[H\x1b[2J")  # home + clear
+            sys.stdout.write("\n".join(lines) + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_jobs(args: argparse.Namespace) -> int:
@@ -862,6 +1002,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--timeout", type=float, default=600.0,
                    help="--wait limit in seconds (default 600)")
     p.add_argument("--poll-interval", type=float, default=0.5)
+    p.add_argument("--trace-id", default=None, metavar="ID",
+                   help="correlation id stamped through the job's whole "
+                        "lifetime (API responses, service logs, runner "
+                        "journal, /trace); a uuid is generated if omitted")
     p.add_argument("-o", "--output", default=None,
                    help="with --wait: write the simplified netlist here")
     p.set_defaults(func=cmd_submit)
@@ -876,6 +1020,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="request cancellation of the job")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser("slo",
+                       help="latency quantiles + CI gates from OpenMetrics "
+                            "histograms")
+    p.add_argument("source",
+                   help="a job server base URL (http://...) or a saved "
+                        "OpenMetrics exposition file")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="also write the summary as JSON here")
+    p.add_argument("--fail-over", action="append", default=[],
+                   metavar="METRIC_pPCT=SECONDS",
+                   help="exit 3 when the quantile exceeds the bound, e.g. "
+                        "--fail-over e2e_p99=2.5 (substring-matches the "
+                        "histogram family name; repeatable)")
+    p.set_defaults(func=cmd_slo)
+
+    p = sub.add_parser("top", help="live fleet view of a running job server")
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (also the automatic "
+                        "behaviour when stdout is not a terminal)")
+    p.add_argument("--limit", type=int, default=20,
+                   help="job rows to show (default 20)")
+    p.set_defaults(func=cmd_top)
 
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)

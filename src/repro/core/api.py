@@ -42,6 +42,7 @@ import json
 import logging
 import math
 import os
+import re
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -70,14 +71,24 @@ __all__ = [
 #: Version of the JSON wire schema shared by :class:`SimplifyRequest`
 #: and :class:`SimplifyOutcome`.  Bump it when a round-trip field is
 #: added or its meaning changes; readers accept <= this and reject >.
-SCHEMA_VERSION = 1
+#: v2 added the optional ``trace_id`` correlation field.
+SCHEMA_VERSION = 2
 
 #: Request fields that do not change the mathematical outcome of a run
-#: -- durability paths, parallelism and sampling knobs (parallel runs
-#: are bit-identical to serial ones).  They are excluded from
-#: :meth:`SimplifyRequest.fingerprint`, so two submissions differing
-#: only here share one result-cache entry.
-_NON_SEMANTIC_FIELDS = ("workers", "checkpoint", "journal", "telemetry_interval")
+#: -- durability paths, parallelism/sampling knobs (parallel runs are
+#: bit-identical to serial ones) and the correlation id.  They are
+#: excluded from :meth:`SimplifyRequest.fingerprint`, so two
+#: submissions differing only here share one result-cache entry.
+_NON_SEMANTIC_FIELDS = (
+    "workers",
+    "checkpoint",
+    "journal",
+    "telemetry_interval",
+    "trace_id",
+)
+
+#: Correlation-id charset: URL- and filename-safe, boundable in logs.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._\-]{1,128}$")
 
 
 def _check_schema_version(what: str, version: Any) -> None:
@@ -254,6 +265,12 @@ class SimplifyRequest:
     switches on the background RSS/CPU/throughput sampler
     (:mod:`repro.obs.telemetry`) at that many seconds per sample.
 
+    ``trace_id`` is an opaque correlation id stamped into the run's
+    journal header and telemetry events so a service submission can be
+    traced into the runner subprocess that executed it.  Like the
+    durability fields it is non-semantic: two requests differing only
+    in ``trace_id`` share one result-cache entry.
+
     The request serializes to JSON (:meth:`to_json` /
     :meth:`from_json`) so a run's full configuration can be stored
     next to its outputs and replayed later.
@@ -281,6 +298,7 @@ class SimplifyRequest:
     checkpoint: Optional[str] = None
     journal: Optional[str] = None
     telemetry_interval: Optional[float] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.rs_threshold is None) == (self.rs_pct_threshold is None):
@@ -307,6 +325,14 @@ class SimplifyRequest:
             raise InvalidRequestError("num_vectors must be positive")
         if self.telemetry_interval is not None and self.telemetry_interval <= 0:
             raise InvalidRequestError("telemetry_interval must be positive seconds")
+        if self.trace_id is not None and (
+            not isinstance(self.trace_id, str)
+            or not _TRACE_ID_RE.match(self.trace_id)
+        ):
+            raise InvalidRequestError(
+                f"trace_id must be 1-128 chars of [A-Za-z0-9._-], "
+                f"got {self.trace_id!r}"
+            )
 
     # ------------------------------------------------------------------
     # construction
@@ -344,6 +370,7 @@ class SimplifyRequest:
             checkpoint=getattr(args, "checkpoint", None),
             journal=getattr(args, "journal", None),
             telemetry_interval=getattr(args, "telemetry_interval", None),
+            trace_id=getattr(args, "trace_id", None),
         )
 
     @classmethod
@@ -658,6 +685,7 @@ def simplify(
             checkpoint=_per_fom_path(request.checkpoint, fom, foms),
             progress=progress,
             telemetry_interval=request.telemetry_interval,
+            trace_id=request.trace_id,
         )
         runs.append((fom, result))
         if len(foms) > 1 and fom != foms[-1] and _budget_exhausted(result, threshold):

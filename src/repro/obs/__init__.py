@@ -19,6 +19,10 @@ tracks); ``repro.obs.profile`` renders the ``repro profile`` self-time
 attribution view; ``repro.obs.metrics_export`` is the
 OpenMetrics/Prometheus text surface (``repro report --format
 openmetrics`` and the heartbeat's ``telemetry.prom``).
+``repro.obs.slo`` (DESIGN.md §14) is the latency-SLO layer: the
+mergeable log-bucketed :class:`~repro.obs.slo.LatencyHistogram`, the
+OpenMetrics histogram parser, and the quantile summary / ``--fail-over``
+gate logic behind ``repro slo``.
 """
 
 from .compare import compare_files, compare_runs, render_compare
@@ -71,13 +75,29 @@ from .report import (
     report_as_dict,
     report_from_file,
 )
+from .slo import (
+    DEFAULT_BUCKET_BOUNDS,
+    DEFAULT_QUANTILES,
+    LatencyHistogram,
+    check_fail_over,
+    parse_fail_over,
+    parse_openmetrics_histograms,
+    quantile_from_buckets,
+    render_slo,
+    summarize_histograms,
+)
 from .telemetry import (
     TelemetryMonitor,
     cpu_seconds,
     sample_rss_bytes,
     worker_sample,
 )
-from .trace import TraceRecorder, to_chrome_trace, write_chrome_trace
+from .trace import (
+    TraceRecorder,
+    chrome_trace_from_spans,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from .trends import (
     TrendRegression,
     append_history,
@@ -109,8 +129,18 @@ __all__ = [
     "collect_counters",
     "collect_gauges",
     "TraceRecorder",
+    "chrome_trace_from_spans",
     "to_chrome_trace",
     "write_chrome_trace",
+    "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_QUANTILES",
+    "LatencyHistogram",
+    "quantile_from_buckets",
+    "parse_openmetrics_histograms",
+    "summarize_histograms",
+    "render_slo",
+    "parse_fail_over",
+    "check_fail_over",
     "ProgressReporter",
     "TelemetryMonitor",
     "sample_rss_bytes",

@@ -1,0 +1,380 @@
+"""Latency histograms and SLO summaries (p50/p90/p99 over fixed buckets).
+
+The job server needs latency *distributions*, not averages: a queue
+that serves most jobs instantly but parks every tenth one for a minute
+has a fine mean and a terrible p99.  This module is the stdlib-only
+histogram layer behind that:
+
+* :class:`LatencyHistogram` -- a thread-safe fixed-bucket histogram
+  (log-spaced bounds, 1 ms to ~35 min by default).  Fixed buckets make
+  two properties trivial that exact-sample reservoirs lose: histograms
+  **merge** by adding counts (scrapes aggregate across servers), and
+  memory is O(buckets) no matter how many jobs flow through.  The
+  price is that quantiles are estimates -- exact only up to bucket
+  resolution (~2x between neighbours) -- which is the standard
+  Prometheus trade and plenty for SLO gating.
+* OpenMetrics round trip -- histograms render as standard cumulative
+  ``_bucket{le="..."}``/``_count``/``_sum`` families (via
+  :func:`~repro.obs.metrics_export.render_openmetrics`), and
+  :func:`parse_openmetrics_histograms` reads them back from any
+  scrape, so ``repro slo`` can summarize a live ``/v1/metrics``
+  endpoint or a saved ``.prom`` file identically.
+* SLO summarization and gating -- :func:`summarize_histograms` turns
+  parsed families into p50/p90/p99 rows, :func:`render_slo` prints
+  the table, and :func:`parse_fail_over` / :func:`check_fail_over`
+  implement the ``repro slo --fail-over e2e_p99=2.5`` CI gate.
+
+The service records four distributions (see DESIGN.md §14):
+``slo.queue_wait_seconds``, ``slo.attempt_seconds``,
+``slo.e2e_seconds`` and ``slo.cache_hit_seconds``, all through
+:meth:`~repro.obs.core.Instrumentation.observe_latency`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_QUANTILES",
+    "LatencyHistogram",
+    "check_fail_over",
+    "parse_fail_over",
+    "parse_openmetrics_histograms",
+    "quantile_from_buckets",
+    "quantile_key",
+    "render_slo",
+    "summarize_histograms",
+]
+
+#: Default bucket upper bounds in seconds: log-spaced powers of two
+#: from 1 ms to ~35 minutes (a final implicit +Inf bucket catches the
+#: rest).  Factor-of-two spacing bounds the quantile estimation error
+#: at one octave -- fine-grained enough to tell a 50 ms queue wait
+#: from a 5 s one, coarse enough that a histogram is 22 integers.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    0.001 * 2**i for i in range(22)
+)
+
+#: Quantiles ``repro slo`` reports by default.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram.
+
+    ``bounds`` are the bucket *upper* bounds (inclusive, seconds),
+    strictly increasing; observations above the last bound land in the
+    implicit ``+Inf`` overflow bucket.  All mutation is lock-guarded,
+    so one histogram can be shared by every handler thread of the job
+    server.
+    """
+
+    __slots__ = ("bounds", "_counts", "_overflow", "_sum", "_count", "_lock")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._overflow = 0
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (negative clamps to 0)."""
+        value = max(float(seconds), 0.0)
+        idx = self._bucket_index(value)
+        with self._lock:
+            if idx is None:
+                self._overflow += 1
+            else:
+                self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def _bucket_index(self, value: float) -> Optional[int]:
+        # Linear scan is fine: ~22 buckets, and the common case (small
+        # latencies) exits early.
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return None
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s counts into this histogram (same bounds)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            overflow, total, count = other._overflow, other._sum, other._count
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._overflow += overflow
+            self._sum += total
+            self._count += count
+
+    # -- reading -------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile in seconds (``None`` when empty)."""
+        snap = self.snapshot()
+        return quantile_from_buckets(snap["buckets"], q)
+
+    def snapshot(self) -> Dict:
+        """JSON-ready cumulative view (the OpenMetrics wire shape).
+
+        ``buckets`` is ``[[le, cumulative_count], ...]`` ending with
+        the ``+Inf`` bucket whose count equals ``count``.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            overflow, total, count = self._overflow, self._sum, self._count
+        buckets: List[List] = []
+        running = 0
+        for bound, c in zip(self.bounds, counts):
+            running += c
+            buckets.append([bound, running])
+        buckets.append([math.inf, running + overflow])
+        return {"buckets": buckets, "sum": total, "count": count}
+
+
+def quantile_from_buckets(
+    buckets: Sequence[Sequence[float]], q: float
+) -> Optional[float]:
+    """Estimated quantile from cumulative ``(le, count)`` buckets.
+
+    Linear interpolation inside the bucket that crosses the target
+    rank (the Prometheus ``histogram_quantile`` rule); the lower edge
+    of the first bucket is 0 and a quantile landing in the ``+Inf``
+    bucket reports the last finite bound (there is no upper edge to
+    interpolate toward).  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_bound, prev_cum = 0.0, 0
+    for bound, cum in buckets:
+        if cum >= rank:
+            if math.isinf(bound):
+                return prev_bound
+            if cum == prev_cum:  # rank == 0 edge: empty leading bucket
+                return float(bound)
+            frac = (rank - prev_cum) / (cum - prev_cum)
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_cum = float(bound), cum
+    return prev_bound
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics scrape parsing (the read half of the round trip)
+# ----------------------------------------------------------------------
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) histogram$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)"
+)
+_LE_RE = re.compile(r'le="([^"]+)"')
+
+
+def _parse_le(raw: str) -> float:
+    return math.inf if raw == "+Inf" else float(raw)
+
+
+def parse_openmetrics_histograms(text: str) -> Dict[str, Dict]:
+    """Extract every histogram family from an OpenMetrics exposition.
+
+    Returns ``{family_name: {"buckets": [[le, cum], ...], "sum": s,
+    "count": n}}`` with buckets sorted by bound -- the same shape
+    :meth:`LatencyHistogram.snapshot` produces, so
+    :func:`quantile_from_buckets` works on either.
+    """
+    families: Dict[str, Dict] = {}
+    declared: List[str] = []
+    for line in text.splitlines():
+        m = _TYPE_RE.match(line)
+        if m:
+            declared.append(m.group(1))
+            families[m.group(1)] = {"buckets": [], "sum": 0.0, "count": 0}
+            continue
+        if line.startswith("#") or not line:
+            continue
+        sm = _SAMPLE_RE.match(line)
+        if sm is None:
+            continue
+        name, value = sm.group("name"), sm.group("value")
+        for family in declared:
+            if name == f"{family}_bucket":
+                le = _LE_RE.search(sm.group("labels") or "")
+                if le:
+                    families[family]["buckets"].append(
+                        [_parse_le(le.group(1)), float(value)]
+                    )
+                break
+            if name == f"{family}_count":
+                families[family]["count"] = int(float(value))
+                break
+            if name == f"{family}_sum":
+                families[family]["sum"] = float(value)
+                break
+    for data in families.values():
+        data["buckets"].sort(key=lambda b: b[0])
+    return {k: v for k, v in families.items() if v["buckets"]}
+
+
+# ----------------------------------------------------------------------
+# SLO summaries and the --fail-over gate
+# ----------------------------------------------------------------------
+def summarize_histograms(
+    families: Dict[str, Dict],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> Dict[str, Dict]:
+    """p-quantile/count/mean rows per histogram family.
+
+    ``families`` maps name -> the cumulative-bucket shape (parsed
+    scrape or :meth:`LatencyHistogram.snapshot`).  Quantile keys are
+    ``p50``-style (``0.5 -> "p50"``, ``0.999 -> "p99.9"``).
+    """
+    summary: Dict[str, Dict] = {}
+    for name in sorted(families):
+        data = families[name]
+        count = int(data.get("count") or 0)
+        total = float(data.get("sum") or 0.0)
+        row: Dict = {
+            "count": count,
+            "sum_s": total,
+            "mean_s": (total / count) if count else None,
+        }
+        for q in quantiles:
+            row[quantile_key(q)] = quantile_from_buckets(data["buckets"], q)
+        summary[name] = row
+    return summary
+
+
+def quantile_key(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p99.9"``."""
+    pct = q * 100.0
+    if pct == int(pct):
+        return f"p{int(pct)}"
+    return f"p{pct:g}"
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 1.0:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.3f}s"
+
+
+def render_slo(
+    summary: Dict[str, Dict],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> str:
+    """The ``repro slo`` table: one row per latency family."""
+    qkeys = [quantile_key(q) for q in quantiles]
+    header = ["metric", "count", "mean"] + qkeys
+    rows = [header]
+    for name, row in summary.items():
+        rows.append(
+            [name, str(row["count"]), _fmt_seconds(row["mean_s"])]
+            + [_fmt_seconds(row.get(k)) for k in qkeys]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if j == 0 else cell.rjust(w)
+                for j, (cell, w) in enumerate(zip(row, widths))
+            ).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+_GATE_RE = re.compile(r"^(?P<metric>.+)_p(?P<pct>\d+(?:\.\d+)?)$")
+
+
+def parse_fail_over(specs: Iterable[str]) -> List[Tuple[str, float, float]]:
+    """Parse ``--fail-over`` gate specs.
+
+    Each spec is ``<metric-substring>_p<PCT>=<seconds>`` (e.g.
+    ``e2e_p99=2.5``: the p99 of every histogram family whose name
+    contains ``e2e`` must stay at or under 2.5 s).  Returns
+    ``(metric_substring, quantile, limit_seconds)`` tuples; raises
+    :class:`ValueError` on a malformed spec.
+    """
+    gates: List[Tuple[str, float, float]] = []
+    for spec in specs:
+        name, sep, limit_text = spec.partition("=")
+        m = _GATE_RE.match(name.strip())
+        if not sep or m is None:
+            raise ValueError(
+                f"bad --fail-over spec {spec!r} "
+                f"(expected NAME_pNN=SECONDS, e.g. e2e_p99=2.5)"
+            )
+        try:
+            limit = float(limit_text)
+        except ValueError:
+            raise ValueError(
+                f"bad --fail-over limit in {spec!r}: {limit_text!r}"
+            ) from None
+        quantile = float(m.group("pct")) / 100.0
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"bad --fail-over percentile in {spec!r}")
+        gates.append((m.group("metric"), quantile, limit))
+    return gates
+
+
+def check_fail_over(
+    families: Dict[str, Dict],
+    gates: Sequence[Tuple[str, float, float]],
+) -> List[str]:
+    """Evaluate gates against parsed histograms; returns violations.
+
+    A gate whose metric substring matches no family is itself a
+    violation -- a typo'd gate must not silently pass CI.
+    """
+    violations: List[str] = []
+    for metric, q, limit in gates:
+        matched = [name for name in families if metric in name]
+        if not matched:
+            violations.append(
+                f"{metric}_{quantile_key(q)}: no histogram matching "
+                f"{metric!r} in the exposition"
+            )
+            continue
+        for name in matched:
+            value = quantile_from_buckets(families[name]["buckets"], q)
+            if value is not None and value > limit:
+                violations.append(
+                    f"{name} {quantile_key(q)} = {_fmt_seconds(value)} "
+                    f"exceeds the {_fmt_seconds(limit)} limit"
+                )
+    return violations

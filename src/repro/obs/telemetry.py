@@ -140,11 +140,22 @@ class TelemetryMonitor:
         (and the gauges/trace) only.
     interval_s:
         Seconds between samples (clamped to >= 10 ms).
+    trace_id:
+        Optional correlation id stamped into every emitted telemetry
+        event (coordinator and worker lanes), linking the samples to
+        the service submission that started this run.
     """
 
-    def __init__(self, obs, sink=None, interval_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        obs,
+        sink=None,
+        interval_s: float = 1.0,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.obs = obs
         self.sink = sink
+        self.trace_id = trace_id
         self.interval_s = max(float(interval_s), 0.01)
         self.pid = os.getpid()
         self.samples: List[Dict] = []
@@ -217,6 +228,8 @@ class TelemetryMonitor:
                 "cpu_s": round(cpu, 6),
                 "gauges": rates,
             }
+            if self.trace_id is not None:
+                event["trace_id"] = self.trace_id
             self.samples.append(event)
             self.obs.gauge("telemetry.rss_bytes", rss)
             self.obs.gauge_max("telemetry.rss_peak_bytes", rss)
@@ -274,6 +287,8 @@ class TelemetryMonitor:
                     "rss_bytes": int(rss),
                     "cpu_s": round(float(cpu), 6),
                 }
+                if self.trace_id is not None:
+                    event["trace_id"] = self.trace_id
                 previous = self._worker_cursor.get(pid)
                 if previous is not None:
                     dt = t_s - previous[0]

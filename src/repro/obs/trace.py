@@ -43,7 +43,14 @@ import os
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-__all__ = ["SpanEvent", "CounterEvent", "TraceRecorder", "to_chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "SpanEvent",
+    "CounterEvent",
+    "TraceRecorder",
+    "chrome_trace_from_spans",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
 
 #: One completed span: (span id, parent id or None, hierarchical path,
 #: begin perf_counter, end perf_counter, recording pid).  A plain tuple
@@ -187,6 +194,73 @@ def to_chrome_trace(recorder: TraceRecorder) -> Dict:
                     "args": {"value": value},
                 }
             )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_from_spans(
+    spans: Iterable[Dict],
+    counters: Iterable[Dict] = (),
+    lane_names: Optional[Dict[int, str]] = None,
+    metadata: Optional[Dict] = None,
+) -> Dict:
+    """Build a Chrome trace object from explicit span/counter dicts.
+
+    The generic sibling of :func:`to_chrome_trace` for callers that
+    synthesize a timeline rather than record one -- the job server's
+    ``GET /v1/jobs/<id>/trace`` assembles queue-wait and attempt spans
+    from service-side timestamps and runner spans from the job's
+    journal, all on one shared zero-based clock.
+
+    * ``spans``: ``{"pid", "name", "t0_s", "t1_s", "args"?}`` -- one
+      complete (``"ph": "X"``) slice each, times in seconds;
+    * ``counters``: ``{"pid", "name", "t_s", "value"}`` -- sampled
+      ``"ph": "C"`` track points;
+    * ``lane_names``: ``{pid: label}`` rendered as ``process_name``
+      metadata records;
+    * ``metadata``: extra args attached to every lane's metadata record
+      (e.g. the trace id).
+    """
+    spans = list(spans)
+    counters = list(counters)
+    lane_names = dict(lane_names or {})
+    pids = sorted(
+        {s["pid"] for s in spans}
+        | {c["pid"] for c in counters}
+        | set(lane_names)
+    )
+    trace_events: List[Dict] = []
+    for pid in pids:
+        args: Dict = {"name": lane_names.get(pid, f"lane {pid}")}
+        if metadata:
+            args.update(metadata)
+        trace_events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": args}
+        )
+    for span in sorted(spans, key=lambda s: (s["pid"], s["t0_s"])):
+        trace_events.append(
+            {
+                "name": span["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": span["t0_s"] * 1e6,
+                "dur": max(span["t1_s"] - span["t0_s"], 0.0) * 1e6,
+                "pid": span["pid"],
+                "tid": 0,
+                "args": dict(span.get("args") or {}),
+            }
+        )
+    for point in sorted(counters, key=lambda c: (c["pid"], c["name"], c["t_s"])):
+        trace_events.append(
+            {
+                "name": point["name"],
+                "cat": "telemetry",
+                "ph": "C",
+                "ts": point["t_s"] * 1e6,
+                "pid": point["pid"],
+                "tid": 0,
+                "args": {"value": point["value"]},
+            }
+        )
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 

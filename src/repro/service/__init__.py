@@ -7,13 +7,23 @@ content-addressed result cache.  ``repro submit`` / ``repro jobs``
 drive it through :class:`~repro.service.client.ServiceClient`.
 
 See DESIGN.md §13 for the architecture (cache keying, crash-resume
-semantics, API versioning and the error-code table).
+semantics, API versioning and the error-code table) and §14 for the
+observability surface (correlation ids, structured service logs, SLO
+latency histograms, the event stream and the per-job Chrome trace).
 """
 
 from .cache import ResultCache, cache_key
 from .client import ServiceClient
-from .jobs import ACTIVE_STATES, TERMINAL_STATES, Job, JobStore
+from .jobs import (
+    ACTIVE_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobStore,
+    job_chrome_trace,
+    job_journal_events,
+)
 from .server import SimplifyService, create_server, serve, serve_in_thread
+from .slog import ServiceLog
 from .workers import WorkerPool
 
 __all__ = [
@@ -23,10 +33,13 @@ __all__ = [
     "JobStore",
     "ResultCache",
     "ServiceClient",
+    "ServiceLog",
     "SimplifyService",
     "WorkerPool",
     "cache_key",
     "create_server",
+    "job_chrome_trace",
+    "job_journal_events",
     "serve",
     "serve_in_thread",
 ]

@@ -7,6 +7,11 @@ the same typed taxonomy the server raised
 (:func:`repro.core.errors.error_from_body`): a client catching
 :class:`~repro.core.errors.QueueFullError` does not care which side of
 the socket it was on.
+
+Correlation: a client-wide or per-submit ``trace_id`` is sent as the
+``X-Repro-Trace-Id`` header; :meth:`ServiceClient.stream` consumes the
+server's long-poll event feed (``GET /v1/jobs/<id>/events``) and
+:meth:`ServiceClient.trace` fetches the assembled Chrome trace.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from ..core.api import SimplifyOutcome, SimplifyRequest
 from ..core.errors import ReproError, ServiceUnavailableError, error_from_body
@@ -26,9 +31,17 @@ __all__ = ["ServiceClient"]
 class ServiceClient:
     """Talk to one repro job server at ``base_url``."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Default correlation id sent with every submission (a
+        #: per-call ``trace_id`` overrides it).
+        self.trace_id = trace_id
 
     # -- transport ---------------------------------------------------------
     def _call(
@@ -37,16 +50,24 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict] = None,
         parse: bool = True,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
     ) -> Any:
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        all_headers = {"Accept": "application/json"}
+        if headers:
+            all_headers.update(headers)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(url, data=data, method=method, headers=headers)
+            all_headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            url, data=data, method=method, headers=all_headers
+        )
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            with urllib.request.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout
+            ) as resp:
                 text = resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             body = exc.read().decode("utf-8", errors="replace")
@@ -82,8 +103,14 @@ class ServiceClient:
         netlist: Optional[str] = None,
         netlist_sha256: Optional[str] = None,
         name: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
-        """Submit one job; returns the server's job snapshot."""
+        """Submit one job; returns the server's job snapshot.
+
+        The effective ``trace_id`` (per-call, else the client default)
+        rides the ``X-Repro-Trace-Id`` header; the snapshot's
+        ``trace_id`` field reports what the server settled on (a
+        generated uuid when none was supplied)."""
         if isinstance(request, SimplifyRequest):
             request = request.to_dict()
         payload: Dict[str, Any] = {"request": request}
@@ -93,7 +120,9 @@ class ServiceClient:
             payload["netlist_sha256"] = netlist_sha256
         if name is not None:
             payload["name"] = name
-        return self._call("POST", "/v1/jobs", payload)
+        trace_id = trace_id or self.trace_id
+        headers = {"X-Repro-Trace-Id": trace_id} if trace_id else None
+        return self._call("POST", "/v1/jobs", payload, headers=headers)
 
     def jobs(self) -> List[Dict]:
         return self._call("GET", "/v1/jobs")["jobs"]
@@ -111,6 +140,52 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> Dict:
         return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, offset: int = 0, wait: float = 10.0) -> Dict:
+        """One long-poll of the job's event feed past ``offset``.
+
+        Returns the server's batch: ``events`` past the cursor,
+        ``next_offset`` to poll from, ``state``/``progress``/
+        ``complete``.  The socket timeout is padded past ``wait`` so a
+        full-length empty poll is not a client-side error."""
+        return self._call(
+            "GET",
+            f"/v1/jobs/{job_id}/events?offset={int(offset)}&wait={float(wait):g}",
+            timeout=max(self.timeout, float(wait) + 10.0),
+        )
+
+    def stream(
+        self,
+        job_id: str,
+        offset: int = 0,
+        wait: float = 10.0,
+        timeout: float = 600.0,
+    ) -> Iterator[Dict]:
+        """Yield the job's journal events live until it finishes.
+
+        A generator over repeated :meth:`events` long-polls: yields
+        each journal event exactly once, in order, and returns when the
+        job is terminal and the feed is drained.  Raises
+        :class:`ServiceUnavailableError` if the job outlives
+        ``timeout`` (it keeps running server-side)."""
+        deadline = time.monotonic() + timeout
+        cursor = int(offset)
+        while True:
+            batch = self.events(job_id, offset=cursor, wait=wait)
+            for event in batch.get("events") or []:
+                yield event
+            cursor = max(batch.get("next_offset", cursor), cursor)
+            if batch.get("complete") and not (batch.get("events") or []):
+                return
+            if time.monotonic() >= deadline:
+                raise ServiceUnavailableError(
+                    f"timed out after {timeout:g}s streaming {job_id} "
+                    f"(last state: {batch.get('state')})"
+                )
+
+    def trace(self, job_id: str) -> Dict:
+        """The job's assembled Chrome trace object (Perfetto-loadable)."""
+        return self._call("GET", f"/v1/jobs/{job_id}/trace")
 
     def wait(
         self,

@@ -51,10 +51,15 @@ def run_job(job_dir: str) -> SimplifyOutcome:
     The stored request's durability fields are overridden with the
     job-local paths -- the service owns placement, not the submitter --
     and a :class:`ProgressReporter` feeds ``progress.json`` so the
-    server can answer status polls with live numbers.
+    server can answer status polls with live numbers.  The request's
+    ``trace_id`` (stamped by the server at submit) flows through
+    ``simplify`` into the journal header and telemetry events: the
+    runner-side half of the correlation story.
     """
     with open(os.path.join(job_dir, "request.json"), "r", encoding="utf-8") as fh:
         request = SimplifyRequest.from_json(fh.read())
+    if request.trace_id:
+        logger.info("job %s trace_id=%s", job_dir, request.trace_id)
     with open(os.path.join(job_dir, "netlist.bench"), "r", encoding="utf-8") as fh:
         bench_text = fh.read()
     name = _bench_name(bench_text)

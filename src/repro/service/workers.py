@@ -32,6 +32,8 @@ import threading
 import time
 from typing import List, Optional
 
+from typing import Callable, Dict
+
 from ..core.errors import BudgetExhaustedError, JobCancelledError, error_body
 from ..obs.core import NULL, Instrumentation
 from .cache import ResultCache
@@ -62,6 +64,7 @@ class WorkerPool:
         cache: ResultCache,
         workers: int = 2,
         obs: Optional[Instrumentation] = None,
+        on_attempt: Optional[Callable[[Job, Dict], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -69,6 +72,10 @@ class WorkerPool:
         self.cache = cache
         self.workers = workers
         self.obs = obs if obs is not None else NULL
+        #: Observability hook fired after every finished attempt with
+        #: ``(job, record)``; the record is also appended to
+        #: ``job.attempt_history`` (the ``/trace`` endpoint's source).
+        self.on_attempt = on_attempt
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -113,6 +120,7 @@ class WorkerPool:
             # prefix that this one resumes from.
             self.obs.incr("service.jobs_resumed")
             logger.info("resuming %s (attempt %d)", job.id, job.attempts)
+        started_unix = time.time()
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.service.runner", job.dir],
             env=_runner_env(),
@@ -136,6 +144,7 @@ class WorkerPool:
             time.sleep(_POLL_S)
 
         if cancelled:
+            self._record_attempt(job, started_unix, "cancelled")
             self.store.finish(
                 job, "cancelled", error_body(JobCancelledError("cancelled by client"))
             )
@@ -144,6 +153,7 @@ class WorkerPool:
         if self._stop.is_set() and not os.path.exists(job.outcome_path):
             # Shutdown interrupted the run; leave it queued for a
             # future server generation (the checkpoint resumes it).
+            self._record_attempt(job, started_unix, "interrupted")
             self.store.requeue(job)
             return
 
@@ -151,6 +161,7 @@ class WorkerPool:
             with open(job.outcome_path, "r", encoding="utf-8") as fh:
                 self.cache.put(job.cache_key, fh.read())
             self.obs.incr("service.cache_stores")
+            self._record_attempt(job, started_unix, "done")
             self.store.finish(job, "done")
             self.obs.incr("service.jobs_completed")
             logger.info("%s done (attempt %d)", job.id, job.attempts)
@@ -160,6 +171,7 @@ class WorkerPool:
 
             with open(job.error_path, "r", encoding="utf-8") as fh:
                 body = json.load(fh)
+            self._record_attempt(job, started_unix, "failed")
             self.store.finish(job, "failed", body)
             self.obs.incr("service.jobs_failed")
             logger.warning("%s failed: %s", job.id, body.get("error", {}).get("code"))
@@ -167,6 +179,7 @@ class WorkerPool:
 
         # No artifact: the child died mid-run.  Re-queue for a resumed
         # attempt, or fail when the retry budget is spent.
+        self._record_attempt(job, started_unix, "crashed")
         if self.store.requeue(job):
             logger.warning(
                 "%s worker died (attempt %d); re-queued for resume",
@@ -184,3 +197,18 @@ class WorkerPool:
             ),
         )
         self.obs.incr("service.jobs_failed")
+
+    def _record_attempt(self, job: Job, started_unix: float, outcome: str) -> None:
+        """Append the attempt's timing record and fire the hook."""
+        record = {
+            "attempt": job.attempts,
+            "started_unix": started_unix,
+            "ended_unix": time.time(),
+            "outcome": outcome,
+        }
+        job.attempt_history.append(record)
+        if self.on_attempt is not None:
+            try:
+                self.on_attempt(job, record)
+            except Exception:  # noqa: BLE001 - observers must not kill workers
+                logger.exception("attempt observer failed for %s", job.id)

@@ -217,6 +217,7 @@ def circuit_simplify(
     checkpoint: Optional[Union[str, os.PathLike]] = None,
     progress=None,
     telemetry_interval: Optional[float] = None,
+    trace_id: Optional[str] = None,
 ) -> GreedyResult:
     """Greedy maximal area reduction within an RS budget (paper Fig. 6).
 
@@ -248,6 +249,11 @@ def circuit_simplify(
     events (coordinator lane plus one lane per scoring-worker pid) and
     mirrored into gauges and -- when tracing -- Chrome-trace counter
     tracks.  ``None`` (the default) runs no sampler thread.
+
+    ``trace_id`` is an opaque correlation id stamped into the journal
+    header (``run_start``/``resume``) and every telemetry event; the
+    job server uses it to link a client submission to this run's
+    artifacts.  ``None`` (the default) leaves the events untouched.
 
     ``checkpoint`` names a journal file that doubles as a durable run
     checkpoint: if the file already holds a run prefix (e.g. from a
@@ -394,7 +400,9 @@ def circuit_simplify(
     if telemetry_interval is not None:
         from ..obs.telemetry import TelemetryMonitor
 
-        monitor = TelemetryMonitor(obs, sink=tee, interval_s=telemetry_interval)
+        monitor = TelemetryMonitor(
+            obs, sink=tee, interval_s=telemetry_interval, trace_id=trace_id
+        )
         obs.telemetry = monitor
 
     pool = None
@@ -406,34 +414,35 @@ def circuit_simplify(
     t_run = time.perf_counter()
     if tee is not None:
         if replay is None:
-            tee.emit(
-                {
-                    "event": "run_start",
-                    "version": JOURNAL_VERSION,
-                    "circuit": circuit.name,
-                    "num_inputs": len(circuit.inputs),
-                    "num_outputs": len(circuit.outputs),
-                    "area": circuit.area(),
-                    "rs_threshold": threshold,
-                    "rs_max": float(maximum),
-                    "seed": cfg.seed,
-                    "num_vectors": estimator.num_vectors,
-                    "workers": num_workers,
-                    "config": asdict(cfg),
-                }
-            )
+            header = {
+                "event": "run_start",
+                "version": JOURNAL_VERSION,
+                "circuit": circuit.name,
+                "num_inputs": len(circuit.inputs),
+                "num_outputs": len(circuit.outputs),
+                "area": circuit.area(),
+                "rs_threshold": threshold,
+                "rs_max": float(maximum),
+                "seed": cfg.seed,
+                "num_vectors": estimator.num_vectors,
+                "workers": num_workers,
+                "config": asdict(cfg),
+            }
         else:
-            tee.emit(
-                {
-                    "event": "resume",
-                    "version": JOURNAL_VERSION,
-                    "circuit": circuit.name,
-                    "replayed_iterations": len(replay.iterations),
-                    "area": replay.current.area(),
-                    "rs": replay.current_rs,
-                    "workers": num_workers,
-                }
-            )
+            header = {
+                "event": "resume",
+                "version": JOURNAL_VERSION,
+                "circuit": circuit.name,
+                "replayed_iterations": len(replay.iterations),
+                "area": replay.current.area(),
+                "rs": replay.current_rs,
+                "workers": num_workers,
+            }
+        # Only stamped when present, so journals of untraced runs (and
+        # the golden fixtures) keep their historical shape.
+        if trace_id is not None:
+            header["trace_id"] = trace_id
+        tee.emit(header)
     # Sampling starts only after the header emit, so the journal's
     # first line stays the run_start/resume event.
     if monitor is not None:

@@ -1,0 +1,266 @@
+"""Tests for the latency-histogram / SLO layer (repro.obs.slo)."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.core import NULL, Instrumentation
+from repro.obs.metrics_export import render_openmetrics, validate_openmetrics
+from repro.obs.slo import (
+    DEFAULT_BUCKET_BOUNDS,
+    LatencyHistogram,
+    check_fail_over,
+    parse_fail_over,
+    parse_openmetrics_histograms,
+    quantile_from_buckets,
+    quantile_key,
+    render_slo,
+    summarize_histograms,
+)
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram
+# ----------------------------------------------------------------------
+def test_observe_counts_and_sum():
+    h = LatencyHistogram()
+    for v in (0.002, 0.002, 0.5, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(100.504)
+
+
+def test_negative_observation_clamps_to_zero():
+    h = LatencyHistogram()
+    h.observe(-5.0)
+    assert h.count == 1
+    assert h.sum == 0.0
+    # Lands in the first bucket, not a crash or a negative sum.
+    snap = h.snapshot()
+    assert snap["buckets"][0][1] == 1
+
+
+def test_overflow_bucket_catches_huge_values():
+    h = LatencyHistogram(bounds=[0.1, 1.0])
+    h.observe(50.0)
+    snap = h.snapshot()
+    # Finite buckets empty; +Inf cumulative carries the observation.
+    assert snap["buckets"][:-1] == [[0.1, 0], [1.0, 0]]
+    assert snap["buckets"][-1] == [math.inf, 1]
+
+
+def test_bounds_must_be_increasing():
+    with pytest.raises(ValueError):
+        LatencyHistogram(bounds=[1.0, 0.5])
+    with pytest.raises(ValueError):
+        LatencyHistogram(bounds=[])
+
+
+def test_merge_adds_counts():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    for v in (0.01, 0.02):
+        a.observe(v)
+    for v in (0.04, 1e9):
+        b.observe(v)
+    a.merge(b)
+    assert a.count == 4
+    assert a.snapshot()["buckets"][-1][1] == 4
+    assert a.sum == pytest.approx(0.07 + 1e9)
+
+
+def test_merge_rejects_different_bounds():
+    a = LatencyHistogram(bounds=[1.0])
+    b = LatencyHistogram(bounds=[2.0])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_quantiles_bracket_observations():
+    h = LatencyHistogram()
+    for _ in range(100):
+        h.observe(0.1)
+    p50 = h.quantile(0.5)
+    # All mass in the bucket containing 0.1: the estimate must land
+    # inside that bucket (factor-of-two bounds around the true value).
+    assert 0.05 <= p50 <= 0.2
+    assert h.quantile(0.99) <= 0.2
+
+
+def test_quantile_empty_is_none():
+    assert LatencyHistogram().quantile(0.5) is None
+    assert quantile_from_buckets([], 0.5) is None
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        quantile_from_buckets([[1.0, 1]], 1.5)
+
+
+def test_quantile_inf_bucket_reports_last_finite_bound():
+    buckets = [[0.1, 0], [1.0, 0], [math.inf, 10]]
+    assert quantile_from_buckets(buckets, 0.99) == 1.0
+
+
+def test_quantile_interpolates_within_bucket():
+    # 100 observations uniform in one (1.0, 2.0] bucket: p50 should be
+    # mid-bucket by linear interpolation.
+    buckets = [[1.0, 0], [2.0, 100], [math.inf, 100]]
+    assert quantile_from_buckets(buckets, 0.5) == pytest.approx(1.5)
+
+
+def test_histogram_is_thread_safe():
+    h = LatencyHistogram()
+    n, threads = 1000, []
+
+    def pound():
+        for _ in range(n):
+            h.observe(0.01)
+
+    for _ in range(4):
+        t = threading.Thread(target=pound)
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join()
+    assert h.count == 4 * n
+    assert h.snapshot()["buckets"][-1][1] == 4 * n
+
+
+def test_default_bounds_cover_ms_to_minutes():
+    assert DEFAULT_BUCKET_BOUNDS[0] == pytest.approx(0.001)
+    assert DEFAULT_BUCKET_BOUNDS[-1] > 2000  # ~35 minutes
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics round trip
+# ----------------------------------------------------------------------
+def _scrape_with_observations(values):
+    obs = Instrumentation()
+    for v in values:
+        obs.observe_latency("slo.e2e_seconds", v)
+    return render_openmetrics(obs.snapshot())
+
+
+def test_render_parse_round_trip():
+    text = _scrape_with_observations([0.01, 0.02, 5.0])
+    validate_openmetrics(text)
+    families = parse_openmetrics_histograms(text)
+    assert list(families) == ["repro_slo_e2e_seconds"]
+    data = families["repro_slo_e2e_seconds"]
+    assert data["count"] == 3
+    assert data["sum"] == pytest.approx(5.03)
+    # Cumulative and ends at +Inf with the total count.
+    cums = [c for _, c in data["buckets"]]
+    assert cums == sorted(cums)
+    assert data["buckets"][-1][0] == math.inf
+    assert data["buckets"][-1][1] == 3
+
+
+def test_parse_ignores_non_histogram_families():
+    text = _scrape_with_observations([0.5])
+    assert "repro_counters" not in parse_openmetrics_histograms(text)
+
+
+def test_parse_empty_exposition():
+    assert parse_openmetrics_histograms("") == {}
+    assert parse_openmetrics_histograms("# just a comment\n") == {}
+
+
+# ----------------------------------------------------------------------
+# Summaries and rendering
+# ----------------------------------------------------------------------
+def test_summarize_histograms_keys():
+    families = parse_openmetrics_histograms(
+        _scrape_with_observations([0.1] * 10)
+    )
+    summary = summarize_histograms(families)
+    row = summary["repro_slo_e2e_seconds"]
+    assert row["count"] == 10
+    assert row["mean_s"] == pytest.approx(0.1)
+    assert set(row) >= {"count", "sum_s", "mean_s", "p50", "p90", "p99"}
+    assert 0.05 <= row["p50"] <= 0.2
+
+
+def test_summary_is_json_serializable():
+    families = parse_openmetrics_histograms(_scrape_with_observations([1.0]))
+    json.dumps(summarize_histograms(families))
+
+
+def test_render_slo_table():
+    families = parse_openmetrics_histograms(_scrape_with_observations([0.1]))
+    table = render_slo(summarize_histograms(families))
+    lines = table.splitlines()
+    assert lines[0].split()[:3] == ["metric", "count", "mean"]
+    assert any("repro_slo_e2e_seconds" in line for line in lines)
+
+
+def test_quantile_key_formats():
+    assert quantile_key(0.5) == "p50"
+    assert quantile_key(0.99) == "p99"
+    assert quantile_key(0.999) == "p99.9"
+
+
+# ----------------------------------------------------------------------
+# --fail-over gates
+# ----------------------------------------------------------------------
+def test_parse_fail_over():
+    gates = parse_fail_over(["e2e_p99=2.5", "queue_wait_p50=0.1"])
+    assert gates == [("e2e", 0.99, 2.5), ("queue_wait", 0.5, 0.1)]
+
+
+@pytest.mark.parametrize(
+    "spec", ["nonsense", "e2e_p99", "e2e=2.5", "e2e_p99=abc", "e2e_p200=1"]
+)
+def test_parse_fail_over_rejects_malformed(spec):
+    with pytest.raises(ValueError):
+        parse_fail_over([spec])
+
+
+def test_check_fail_over_pass_and_fail():
+    families = parse_openmetrics_histograms(_scrape_with_observations([0.1]))
+    assert check_fail_over(families, parse_fail_over(["e2e_p99=60"])) == []
+    violations = check_fail_over(
+        families, parse_fail_over(["e2e_p99=0.000001"])
+    )
+    assert len(violations) == 1
+    assert "exceeds" in violations[0]
+
+
+def test_check_fail_over_unmatched_gate_is_violation():
+    families = parse_openmetrics_histograms(_scrape_with_observations([0.1]))
+    violations = check_fail_over(
+        families, parse_fail_over(["no_such_metric_p99=1"])
+    )
+    assert len(violations) == 1
+    assert "no histogram matching" in violations[0]
+
+
+# ----------------------------------------------------------------------
+# Instrumentation integration
+# ----------------------------------------------------------------------
+def test_observe_latency_creates_and_reuses_histogram():
+    obs = Instrumentation()
+    obs.observe_latency("slo.x_seconds", 0.1)
+    obs.observe_latency("slo.x_seconds", 0.2)
+    assert obs.histograms["slo.x_seconds"].count == 2
+
+
+def test_snapshot_omits_histograms_key_when_empty():
+    obs = Instrumentation()
+    assert "histograms" not in obs.snapshot()
+    obs.observe_latency("slo.x_seconds", 0.1)
+    snap = obs.snapshot()
+    assert snap["histograms"]["slo.x_seconds"]["count"] == 1
+
+
+def test_reset_clears_histograms():
+    obs = Instrumentation()
+    obs.observe_latency("slo.x_seconds", 0.1)
+    obs.reset()
+    assert obs.histograms == {}
+
+
+def test_null_instrumentation_observe_latency_is_noop():
+    NULL.observe_latency("slo.x_seconds", 0.1)  # must not raise
