@@ -33,6 +33,11 @@ file extension) and on the built-in benchmark suite:
   OpenMetrics histograms, with ``--fail-over`` CI gates (exit 3)
 * ``top``        -- live fleet view of a running job server (one
   refreshing TTY table; ``--once`` prints a single snapshot)
+* ``errors``     -- fleet error clusters (normalized-traceback
+  fingerprints) from a live server's ``/v1/errors``, a saved scrape,
+  or a service data dir offline
+* ``postmortem`` -- human crash report from a job's ``crash/`` bundle
+  (stack dump, journal tail, fingerprint) or a bare run journal
 
 All human-facing output goes through the ``repro`` logging tree
 (INFO -> stdout, WARNING+ -> stderr), configured by the global
@@ -59,6 +64,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 import time
 from pathlib import Path
@@ -598,6 +604,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_limit=args.queue_limit,
         max_attempts=args.max_retries,
+        hang_timeout_s=args.hang_timeout or None,
+        log_max_bytes=args.log_max_bytes or None,
+        log_keep=args.log_keep,
     )
     return 0
 
@@ -671,7 +680,7 @@ def cmd_slo(args: argparse.Namespace) -> int:
         from .service import ServiceClient
 
         try:
-            text = ServiceClient(args.source).metrics()
+            text = ServiceClient(args.source, timeout=args.timeout).metrics()
         except ReproError as exc:
             logger.error(f"{exc.code}: {exc}")
             return 2
@@ -679,10 +688,17 @@ def cmd_slo(args: argparse.Namespace) -> int:
         try:
             with open(args.source, "r", encoding="utf-8") as fh:
                 text = fh.read()
-        except OSError as exc:
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            # UnicodeDecodeError: a binary/torn scrape file must exit
+            # cleanly, not traceback.
             logger.error(f"cannot read {args.source}: {exc}")
             return 2
-    families = parse_openmetrics_histograms(text)
+    try:
+        families = parse_openmetrics_histograms(text)
+    except (ValueError, KeyError) as exc:
+        logger.error(f"{args.source}: not a parseable OpenMetrics "
+                     f"exposition: {exc}")
+        return 2
     if not families:
         logger.error(f"{args.source}: no histogram families in the exposition "
                      f"(is the server new enough to export SLO histograms?)")
@@ -749,7 +765,7 @@ def cmd_top(args: argparse.Namespace) -> int:
     from .core import ReproError
     from .service import ServiceClient
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, timeout=args.timeout)
 
     def frame() -> List[str]:
         return _top_lines(client.healthz(), client.jobs(), args.url, args.limit)
@@ -784,7 +800,7 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     from .core import ReproError, SimplifyOutcome
     from .service import ServiceClient
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, timeout=args.timeout)
     try:
         if args.job_id is None:
             jobs = client.jobs()
@@ -835,6 +851,95 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     except ReproError as exc:
         logger.error(f"{exc.code}: {exc}")
         return 2
+    return 0
+
+
+def cmd_errors(args: argparse.Namespace) -> int:
+    from .core import ReproError
+    from .obs.flight import cluster_errors, render_error_clusters, scan_job_errors
+
+    source = args.source
+    if "://" in source:
+        from .service import ServiceClient
+
+        try:
+            body = ServiceClient(source, timeout=args.timeout).errors(
+                limit=args.limit
+            )
+        except ReproError as exc:
+            logger.error(f"{exc.code}: {exc}")
+            return 2
+    elif os.path.isdir(source):
+        # Offline mode: a service data dir (jobs/ + logs/) or a bare
+        # jobs dir.  Torn bundles surface as `unreadable` clusters,
+        # never as tracebacks.
+        jobs_dir = source
+        if os.path.isdir(os.path.join(source, "jobs")):
+            jobs_dir = os.path.join(source, "jobs")
+        records = scan_job_errors(jobs_dir)
+        body = {
+            "clusters": cluster_errors(records, limit=args.limit),
+            "errors_total": len(records),
+        }
+        events_path = os.path.join(source, "logs", "events.jsonl")
+        from .service.slog import log_segments, read_log_records
+
+        if log_segments(events_path):
+            body["hung_attempts"] = sum(
+                1
+                for record in read_log_records(events_path)
+                if record.get("kind") == "attempt"
+                and record.get("outcome") == "hung"
+            )
+    elif os.path.isfile(source):
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                body = json.load(fh)
+        except (OSError, ValueError) as exc:
+            logger.error(f"cannot read error scrape {source}: {exc}")
+            return 2
+        if not isinstance(body, dict) or "clusters" not in body:
+            logger.error(f"{source}: not a saved /v1/errors scrape "
+                         f"(no 'clusters' key)")
+            return 2
+    else:
+        logger.error(f"{source}: not a URL, directory, or file")
+        return 2
+    if args.format == "json":
+        logger.info(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        logger.info(render_error_clusters(body))
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(body, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            logger.error(f"cannot write {args.output}: {exc}")
+            return 2
+        logger.info(f"error summary written to {args.output}")
+    return 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    from .obs.flight import load_bundle, render_postmortem
+
+    try:
+        bundle = load_bundle(args.path)
+    except (OSError, ValueError) as exc:
+        logger.error(f"cannot load crash bundle: {exc}")
+        return 2
+    report = render_postmortem(bundle)
+    logger.info(report)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report)
+                fh.write("\n")
+        except OSError as exc:
+            logger.error(f"cannot write {args.output}: {exc}")
+            return 2
+        logger.info(f"postmortem written to {args.output}")
     return 0
 
 
@@ -990,6 +1095,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(each retry resumes from the job's checkpoint)")
     p.add_argument("--data-dir", default=".repro-service", metavar="DIR",
                    help="durable state: job dirs, result cache, netlists")
+    p.add_argument("--hang-timeout", type=float, default=0.0, metavar="S",
+                   help="kill a running attempt whose journal/progress "
+                        "stops advancing for S seconds (after a SIGUSR1 "
+                        "stack dump) and requeue it; 0 disables (default)")
+    p.add_argument("--log-max-bytes", type=int, default=0, metavar="N",
+                   help="rotate logs/access.jsonl and logs/events.jsonl "
+                        "at N bytes; 0 means unbounded (default)")
+    p.add_argument("--log-keep", type=int, default=3, metavar="K",
+                   help="rotated .1..K segments kept per log (default 3)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a netlist to a job server")
@@ -1019,6 +1133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--cancel", action="store_true",
                    help="request cancellation of the job")
     p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request HTTP timeout in seconds (default 30)")
     p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("slo",
@@ -1035,6 +1151,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="exit 3 when the quantile exceeds the bound, e.g. "
                         "--fail-over e2e_p99=2.5 (substring-matches the "
                         "histogram family name; repeatable)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request HTTP timeout in seconds (default 30)")
     p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("top", help="live fleet view of a running job server")
@@ -1046,7 +1164,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "behaviour when stdout is not a terminal)")
     p.add_argument("--limit", type=int, default=20,
                    help="job rows to show (default 20)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request HTTP timeout in seconds (default 30)")
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("errors",
+                       help="fleet error-fingerprint clusters (live server, "
+                            "service data dir, or saved scrape)")
+    p.add_argument("source",
+                   help="a job server base URL (http://...), a service "
+                        "data dir (or bare jobs dir), or a saved "
+                        "/v1/errors JSON scrape")
+    p.add_argument("--limit", type=int, default=10,
+                   help="clusters to show (default 10)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="also write the summary as JSON here")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request HTTP timeout in seconds (default 30)")
+    p.set_defaults(func=cmd_errors)
+
+    p = sub.add_parser("postmortem",
+                       help="render a crash bundle (or a bare run journal) "
+                            "as a human-readable report")
+    p.add_argument("path",
+                   help="a job dir, its crash/ bundle dir, or a run "
+                        "journal .jsonl")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="also write the report here (CI artifact)")
+    p.set_defaults(func=cmd_postmortem)
 
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)

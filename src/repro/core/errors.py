@@ -37,6 +37,7 @@ __all__ = [
     "JobCancelledError",
     "JobFailedError",
     "ServiceUnavailableError",
+    "ClientTimeoutError",
     "ERROR_CODES",
     "error_body",
     "error_from_body",
@@ -152,6 +153,19 @@ class ServiceUnavailableError(ReproError):
 
     code = "service_unavailable"
     http_status = 503
+
+
+class ClientTimeoutError(ServiceUnavailableError):
+    """A client-side request deadline expired before the server
+    answered.
+
+    Subclasses :class:`ServiceUnavailableError` so callers treating
+    "could not get an answer" uniformly keep working; the distinct code
+    lets retry logic tell a dead server from a slow one.
+    """
+
+    code = "client_timeout"
+    http_status = 504
 
 
 def _collect_codes() -> Dict[str, Type[ReproError]]:

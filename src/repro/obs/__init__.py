@@ -22,10 +22,33 @@ openmetrics`` and the heartbeat's ``telemetry.prom``).
 ``repro.obs.slo`` (DESIGN.md §14) is the latency-SLO layer: the
 mergeable log-bucketed :class:`~repro.obs.slo.LatencyHistogram`, the
 OpenMetrics histogram parser, and the quantile summary / ``--fail-over``
-gate logic behind ``repro slo``.
+gate logic behind ``repro slo``.  ``repro.obs.flight`` (DESIGN.md §15)
+is the failure-mode layer: the bounded ring-buffer
+:class:`~repro.obs.flight.FlightRecorder` flushing atomic crash
+bundles, the in-process :class:`~repro.obs.flight.StallWatchdog`,
+normalized-traceback error fingerprints, and the postmortem / fleet
+error-cluster renderers behind ``repro postmortem`` / ``repro errors``.
 """
 
 from .compare import compare_files, compare_runs, render_compare
+from .flight import (
+    BUNDLE_DIRNAME,
+    DEFAULT_CAPACITY,
+    STACKS_FILENAME,
+    FlightRecorder,
+    StallWatchdog,
+    cluster_errors,
+    error_fingerprint,
+    fingerprint_key,
+    fingerprint_text,
+    job_dir_error_record,
+    load_bundle,
+    normalize_traceback,
+    package_bundle,
+    render_error_clusters,
+    render_postmortem,
+    scan_job_errors,
+)
 from .core import (
     NULL,
     Instrumentation,
@@ -169,4 +192,20 @@ __all__ = [
     "audit_file",
     "render_audit",
     "exact_er_check",
+    "BUNDLE_DIRNAME",
+    "DEFAULT_CAPACITY",
+    "STACKS_FILENAME",
+    "FlightRecorder",
+    "StallWatchdog",
+    "cluster_errors",
+    "error_fingerprint",
+    "fingerprint_key",
+    "fingerprint_text",
+    "job_dir_error_record",
+    "load_bundle",
+    "normalize_traceback",
+    "package_bundle",
+    "render_error_clusters",
+    "render_postmortem",
+    "scan_job_errors",
 ]

@@ -1,0 +1,835 @@
+"""Flight recorder + crash forensics (DESIGN.md §15).
+
+The rest of the observability stack answers "what is the run doing?";
+this module answers "why is it stuck or dead?".  Three pieces:
+
+* :class:`FlightRecorder` -- a bounded ring buffer with the journal
+  ``emit(event)`` surface, teed into the run's event stream.  It keeps
+  the last N events in memory (the "flight recorder") and flushes them
+  -- together with a ``faulthandler`` all-thread stack dump and the
+  progress/telemetry snapshots -- as an atomic **crash bundle**
+  (``crash/`` directory) from an installed ``sys.excepthook``.  It also
+  registers ``SIGUSR1`` with ``faulthandler`` so an external watchdog
+  can extract a stack dump from a wedged process (the C-level handler
+  fires even when the GIL is held).
+* :class:`StallWatchdog` -- an in-process thread that writes a
+  ``stall`` bundle when the event stream stops advancing for longer
+  than a deadline (N x the expected event interval), then re-arms when
+  progress resumes.
+* Fingerprinting + forensics readers -- :func:`normalize_traceback`
+  collapses a Python traceback (or a faulthandler dump) to its stable
+  shape so :func:`fingerprint_text` clusters "the same failure" across
+  jobs and hosts; :func:`load_bundle` / :func:`render_postmortem` back
+  ``repro postmortem`` and :func:`scan_job_errors` /
+  :func:`cluster_errors` back ``repro errors`` and ``GET /v1/errors``.
+
+Bundle layout (all files best-effort except ``crash.json``)::
+
+    crash/
+      crash.json          # kind, ts, pid, trace_id, fingerprint, error
+      traceback.txt       # formatted exception (crash bundles)
+      stacks.txt          # faulthandler dump of all threads
+      stacks_signal.txt   # SIGUSR1-triggered dump, when one landed
+      journal_tail.jsonl  # last N journal events from the ring
+      progress.json       # last progress snapshot, verbatim copy
+      telemetry.json      # instrumentation snapshot at flush time
+
+The bundle directory is assembled in a sibling temp dir and published
+with one rename, so a half-written bundle is never observable.
+"""
+
+from __future__ import annotations
+
+import collections
+import faulthandler
+import hashlib
+import json
+import logging
+import os
+import re
+import shutil
+import signal
+import sys
+import threading
+import time
+import traceback
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .journal import load_journal
+
+__all__ = [
+    "BUNDLE_DIRNAME",
+    "STACKS_FILENAME",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "StallWatchdog",
+    "normalize_traceback",
+    "error_fingerprint",
+    "fingerprint_text",
+    "fingerprint_key",
+    "package_bundle",
+    "job_dir_error_record",
+    "scan_job_errors",
+    "cluster_errors",
+    "render_error_clusters",
+    "load_bundle",
+    "render_postmortem",
+]
+
+logger = logging.getLogger("repro.obs.flight")
+
+#: Bundle directory name inside a job/run directory.
+BUNDLE_DIRNAME = "crash"
+#: Standing faulthandler target for SIGUSR1 dumps, next to the bundle.
+STACKS_FILENAME = "stacks.txt"
+#: Ring capacity: enough tail to see what the run was doing, small
+#: enough that a bundle stays a few tens of KB.
+DEFAULT_CAPACITY = 64
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting
+# ---------------------------------------------------------------------------
+
+# Accepts both traceback frames (`File "x.py", line 3, in f`) and
+# faulthandler frames (`File "x.py", line 3 in f`).
+_FRAME_RE = re.compile(r'File "([^"]+)", line \d+,? in (\S+)')
+_HEX_RE = re.compile(r"0x[0-9a-fA-F]+")
+_DIGITS_RE = re.compile(r"\d+")
+
+
+def normalize_traceback(text: str) -> str:
+    """Collapse a traceback / stack dump to its stable, comparable shape.
+
+    Normalization rules (the contract in DESIGN.md §15):
+
+    * frames become ``<file-stem>:<function>``  -- line numbers, source
+      lines and absolute paths are dropped (they move between releases
+      and checkouts without the failure changing);
+    * in the remaining non-frame lines (the exception line, thread
+      headers), hex addresses become ``0xADDR`` and digit runs become
+      ``#`` so ids, sizes and counts don't split clusters.
+    """
+    frames = []
+    for match in _FRAME_RE.finditer(text):
+        # Split on either separator: a bundle written on Windows must
+        # fingerprint identically when clustered on a POSIX host.
+        basename = re.split(r"[\\/]", match.group(1))[-1]
+        stem = os.path.splitext(basename)[0]
+        frames.append(f"{stem}:{match.group(2)}")
+    tail = []
+    for line in text.splitlines():
+        if not line or line.startswith((" ", "\t")):
+            continue
+        if line.startswith("Traceback (most recent call"):
+            continue
+        # Digit-free placeholder first, so the digit collapse cannot
+        # chew the address marker itself; restore the readable form.
+        line = _HEX_RE.sub("HEXADDR", line)
+        line = _DIGITS_RE.sub("#", line)
+        line = line.replace("HEXADDR", "0xADDR")
+        tail.append(line.strip())
+    parts = []
+    if frames:
+        parts.append(" > ".join(frames))
+    parts.extend(tail)
+    return "\n".join(parts)
+
+
+def fingerprint_text(text: str) -> str:
+    """Cluster id for a traceback/stack-dump: hash of its normal form."""
+    normalized = normalize_traceback(text or "")
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_key(*parts: str) -> str:
+    """Cluster id for synthetic causes (``("signal", "SIGKILL")``).
+
+    Hashes the parts verbatim -- no traceback normalization, so numeric
+    exit codes are *not* collapsed into one cluster.
+    """
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def error_fingerprint(exc_type, exc, tb) -> Tuple[str, str]:
+    """``(fingerprint, formatted traceback)`` for one exception."""
+    text = "".join(traceback.format_exception(exc_type, exc, tb))
+    return fingerprint_text(text), text
+
+
+# ---------------------------------------------------------------------------
+# the in-process recorder
+# ---------------------------------------------------------------------------
+
+
+class FlightRecorder:
+    """Bounded ring of recent journal events + crash-bundle flusher.
+
+    Tee it into a run's event stream (it has the sink ``emit(event)``
+    surface) and call :meth:`install` to arm the excepthook and the
+    SIGUSR1 stack-dump handler.  Thread-safe; ``emit`` is O(1).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        trace_id: Optional[str] = None,
+        obs=None,
+    ) -> None:
+        self.capacity = max(1, int(capacity))
+        self.trace_id = trace_id
+        #: Optional Instrumentation whose ``snapshot()`` lands in the
+        #: bundle's telemetry.json.
+        self.obs = obs
+        self.events_seen = 0
+        self.last_advance_unix = time.time()
+        self._ring = collections.deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._bundle_lock = threading.Lock()
+        self._bundle_dir: Optional[str] = None
+        self._progress_path: Optional[str] = None
+        self._stacks_path: Optional[str] = None
+        self._stacks_fh = None
+        self._signal_registered = False
+        self._prev_excepthook = None
+
+    # -- journal-sink surface ------------------------------------------
+    def emit(self, event: Dict) -> None:
+        with self._lock:
+            self._ring.append(dict(event))
+            self.events_seen += 1
+            self.last_advance_unix = time.time()
+
+    def tail(self) -> List[Dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def idle_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds since the last event reached the ring."""
+        return (time.time() if now is None else now) - self.last_advance_unix
+
+    # -- arming --------------------------------------------------------
+    def install(
+        self,
+        bundle_dir: str,
+        stacks_path: Optional[str] = None,
+        progress_path: Optional[str] = None,
+        excepthook: bool = True,
+    ) -> None:
+        """Arm crash capture for this process.
+
+        ``bundle_dir`` is where :meth:`write_bundle` publishes;
+        ``stacks_path`` (kept open for the process lifetime) becomes the
+        ``faulthandler`` target for SIGUSR1, so an external watchdog's
+        signal yields a stack dump even from a process wedged inside C
+        code holding the GIL.
+        """
+        self._bundle_dir = os.path.abspath(bundle_dir)
+        self._progress_path = progress_path
+        sig = getattr(signal, "SIGUSR1", None)
+        if stacks_path is not None and sig is not None:
+            try:
+                self._stacks_path = os.path.abspath(stacks_path)
+                self._stacks_fh = open(self._stacks_path, "w", encoding="utf-8")
+                faulthandler.register(sig, file=self._stacks_fh, all_threads=True)
+                self._signal_registered = True
+            except (OSError, RuntimeError, ValueError):  # pragma: no cover
+                logger.debug("cannot arm SIGUSR1 stack dumps", exc_info=True)
+        if excepthook:
+            self._prev_excepthook = sys.excepthook
+            sys.excepthook = self._excepthook
+
+    def uninstall(self) -> None:
+        if self._prev_excepthook is not None:
+            sys.excepthook = self._prev_excepthook
+            self._prev_excepthook = None
+        if self._signal_registered:
+            try:
+                faulthandler.unregister(signal.SIGUSR1)
+            except (RuntimeError, ValueError):  # pragma: no cover
+                pass
+            self._signal_registered = False
+        if self._stacks_fh is not None:
+            try:
+                self._stacks_fh.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._stacks_fh = None
+
+    def _excepthook(self, exc_type, exc, tb) -> None:
+        try:
+            self.write_bundle("crash", exc_info=(exc_type, exc, tb))
+        except Exception:  # noqa: BLE001 - forensics must not mask the crash
+            logger.debug("crash bundle write failed", exc_info=True)
+        prev = self._prev_excepthook or sys.__excepthook__
+        prev(exc_type, exc, tb)
+
+    # -- flushing ------------------------------------------------------
+    def write_bundle(
+        self,
+        kind: str,
+        exc_info=None,
+        note: Optional[str] = None,
+    ) -> str:
+        """Flush the recorder's state as an atomic ``crash/`` bundle.
+
+        Returns the published bundle path.  ``kind`` is ``crash`` /
+        ``stall`` / anything the caller wants to label the incident.
+        """
+        if self._bundle_dir is None:
+            raise ValueError("FlightRecorder.install() was never called")
+        with self._bundle_lock:
+            tmp = f"{self._bundle_dir}.tmp.{os.getpid()}"
+            shutil.rmtree(tmp, ignore_errors=True)
+            os.makedirs(tmp)
+
+            with open(os.path.join(tmp, STACKS_FILENAME), "w", encoding="utf-8") as fh:
+                try:
+                    faulthandler.dump_traceback(file=fh, all_threads=True)
+                except (OSError, RuntimeError):  # pragma: no cover
+                    fh.write("(stack dump unavailable)\n")
+            _copy_if_exists(
+                self._stacks_path, os.path.join(tmp, "stacks_signal.txt"),
+                nonempty=True,
+            )
+            _copy_if_exists(self._progress_path, os.path.join(tmp, "progress.json"))
+
+            with open(
+                os.path.join(tmp, "journal_tail.jsonl"), "w", encoding="utf-8"
+            ) as fh:
+                for event in self.tail():
+                    fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+
+            if self.obs is not None:
+                try:
+                    with open(
+                        os.path.join(tmp, "telemetry.json"), "w", encoding="utf-8"
+                    ) as fh:
+                        json.dump(
+                            self.obs.snapshot(), fh, indent=2, sort_keys=True,
+                            default=str,
+                        )
+                        fh.write("\n")
+                except Exception:  # noqa: BLE001 - snapshot is best-effort
+                    logger.debug("telemetry snapshot failed", exc_info=True)
+
+            error = None
+            if exc_info is not None:
+                fingerprint, tb_text = error_fingerprint(*exc_info)
+                with open(
+                    os.path.join(tmp, "traceback.txt"), "w", encoding="utf-8"
+                ) as fh:
+                    fh.write(tb_text)
+                error = {
+                    "type": exc_info[0].__name__ if exc_info[0] else "Exception",
+                    "message": str(exc_info[1]),
+                }
+                normalized = normalize_traceback(tb_text)
+            else:
+                # No exception: the stall/stack shape is the identity.
+                with open(
+                    os.path.join(tmp, STACKS_FILENAME), "r", encoding="utf-8"
+                ) as fh:
+                    stacks_text = fh.read()
+                fingerprint = fingerprint_text(stacks_text)
+                normalized = normalize_traceback(stacks_text)
+
+            crash = {
+                "kind": kind,
+                "ts_unix": time.time(),
+                "pid": os.getpid(),
+                "python": sys.version.split()[0],
+                "trace_id": self.trace_id,
+                "fingerprint": fingerprint,
+                "error": error,
+                "normalized": normalized,
+                "events_seen": self.events_seen,
+                "note": note,
+            }
+            with open(os.path.join(tmp, "crash.json"), "w", encoding="utf-8") as fh:
+                json.dump(crash, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+            _publish_dir(tmp, self._bundle_dir)
+            return self._bundle_dir
+
+
+class StallWatchdog:
+    """In-process stall detector over one :class:`FlightRecorder`.
+
+    A daemon thread that writes a ``stall`` bundle when the recorder's
+    event stream has not advanced for ``deadline_s`` (callers derive it
+    as N x the expected event interval), fires ``on_stall(path)``, then
+    re-arms once events flow again.  It never kills anything -- killing
+    is the *supervisor's* call (see ``WorkerPool``); this thread's job
+    is to save the evidence while the process is still alive.
+    """
+
+    def __init__(
+        self,
+        recorder: FlightRecorder,
+        deadline_s: float,
+        poll_s: float = 0.25,
+        on_stall=None,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        self.recorder = recorder
+        self.deadline_s = float(deadline_s)
+        self.poll_s = float(poll_s)
+        self.on_stall = on_stall
+        self.stalls = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("watchdog already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-stall-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        fired = False
+        while not self._stop.wait(self.poll_s):
+            idle = self.recorder.idle_seconds()
+            if idle < self.deadline_s:
+                fired = False
+                continue
+            if fired:
+                continue
+            fired = True
+            self.stalls += 1
+            try:
+                path = self.recorder.write_bundle(
+                    "stall",
+                    note=(
+                        f"no journal events for {idle:.1f}s "
+                        f"(deadline {self.deadline_s:g}s)"
+                    ),
+                )
+            except Exception:  # noqa: BLE001 - watchdog must survive
+                logger.debug("stall bundle write failed", exc_info=True)
+                continue
+            logger.warning("stall detected; bundle written to %s", path)
+            if self.on_stall is not None:
+                try:
+                    self.on_stall(path)
+                except Exception:  # noqa: BLE001
+                    logger.debug("on_stall callback failed", exc_info=True)
+
+
+# ---------------------------------------------------------------------------
+# supervisor-side packaging (no live recorder: build from artifacts)
+# ---------------------------------------------------------------------------
+
+
+def package_bundle(
+    job_dir: str,
+    kind: str,
+    fingerprint: str,
+    error: Optional[Dict] = None,
+    tail_events: Sequence[Dict] = (),
+    stacks_text: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    note: Optional[str] = None,
+) -> str:
+    """Assemble a crash bundle for ``job_dir`` from the outside.
+
+    The supervisor's half of the story: after it SIGKILLs a hung child
+    (which cannot run an excepthook) it packages whatever the job dir
+    holds -- the SIGUSR1 stack dump, the journal tail, the last
+    progress snapshot -- under the same ``crash/`` contract the
+    in-process recorder publishes.  Overwrites an existing bundle.
+    """
+    job_dir = os.path.abspath(job_dir)
+    bundle_dir = os.path.join(job_dir, BUNDLE_DIRNAME)
+    tmp = f"{bundle_dir}.tmp.{os.getpid()}"
+    shutil.rmtree(tmp, ignore_errors=True)
+    os.makedirs(tmp)
+    if stacks_text is None:
+        stacks_text = _read_if_exists(os.path.join(job_dir, STACKS_FILENAME))
+    if stacks_text:
+        with open(os.path.join(tmp, STACKS_FILENAME), "w", encoding="utf-8") as fh:
+            fh.write(stacks_text)
+    _copy_if_exists(
+        os.path.join(job_dir, "progress.json"), os.path.join(tmp, "progress.json")
+    )
+    with open(os.path.join(tmp, "journal_tail.jsonl"), "w", encoding="utf-8") as fh:
+        for event in tail_events:
+            fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+    crash = {
+        "kind": kind,
+        "ts_unix": time.time(),
+        "pid": None,
+        "trace_id": trace_id,
+        "fingerprint": fingerprint,
+        "error": error,
+        "normalized": normalize_traceback(stacks_text) if stacks_text else None,
+        "note": note,
+    }
+    with open(os.path.join(tmp, "crash.json"), "w", encoding="utf-8") as fh:
+        json.dump(crash, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    _publish_dir(tmp, bundle_dir)
+    return bundle_dir
+
+
+def _copy_if_exists(src: Optional[str], dst: str, nonempty: bool = False) -> None:
+    if not src or not os.path.isfile(src):
+        return
+    try:
+        if nonempty and os.path.getsize(src) == 0:
+            return
+        shutil.copyfile(src, dst)
+    except OSError:  # pragma: no cover - forensics is best-effort
+        logger.debug("cannot copy %s into bundle", src, exc_info=True)
+
+
+def _read_if_exists(path: str) -> Optional[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def _publish_dir(tmp: str, final: str) -> None:
+    """Publish a staged bundle dir with one rename."""
+    if os.path.isdir(final):
+        shutil.rmtree(final, ignore_errors=True)
+    os.replace(tmp, final)
+
+
+# ---------------------------------------------------------------------------
+# fleet aggregation (``GET /v1/errors`` / ``repro errors``)
+# ---------------------------------------------------------------------------
+
+
+def job_dir_error_record(job_dir: str) -> Optional[Dict]:
+    """One fingerprint record for a job directory, or ``None``.
+
+    Prefers a crash bundle (richest identity); falls back to a typed
+    ``error.json`` (fingerprinted by its stable code + normalized
+    message).  An unreadable/torn artifact yields an ``unreadable``
+    record rather than a traceback -- corrupt forensics are themselves
+    a signal worth clustering.
+    """
+    crash_path = os.path.join(job_dir, BUNDLE_DIRNAME, "crash.json")
+    if os.path.isfile(crash_path):
+        try:
+            with open(crash_path, "r", encoding="utf-8") as fh:
+                crash = json.load(fh)
+            if not isinstance(crash, dict):
+                raise ValueError("crash.json is not an object")
+            error = crash.get("error") or {}
+            message = (
+                error.get("message")
+                or crash.get("note")
+                or crash.get("kind")
+                or "crash"
+            )
+            return {
+                "fingerprint": crash.get("fingerprint") or "unknown",
+                "kind": crash.get("kind") or "crash",
+                "message": str(message),
+                "ts_unix": float(crash.get("ts_unix") or _mtime(crash_path)),
+                "trace_id": crash.get("trace_id"),
+            }
+        except (OSError, ValueError, TypeError):
+            return {
+                "fingerprint": fingerprint_key("unreadable", "crash.json"),
+                "kind": "unreadable",
+                "message": "crash bundle present but crash.json is unreadable",
+                "ts_unix": _mtime(crash_path),
+                "trace_id": None,
+            }
+    error_path = os.path.join(job_dir, "error.json")
+    if os.path.isfile(error_path):
+        try:
+            with open(error_path, "r", encoding="utf-8") as fh:
+                body = json.load(fh)
+            err = (body or {}).get("error") or {}
+            code = err.get("code") or "unknown"
+            message = err.get("message") or ""
+            return {
+                "fingerprint": fingerprint_text(f"{code}: {message}"),
+                "kind": "error",
+                "message": f"{code}: {message}",
+                "ts_unix": _mtime(error_path),
+                "trace_id": None,
+            }
+        except (OSError, ValueError, TypeError, AttributeError):
+            return {
+                "fingerprint": fingerprint_key("unreadable", "error.json"),
+                "kind": "unreadable",
+                "message": "error.json is unreadable",
+                "ts_unix": _mtime(error_path),
+                "trace_id": None,
+            }
+    return None
+
+
+def _mtime(path: str) -> float:
+    try:
+        return os.path.getmtime(path)
+    except OSError:
+        return 0.0
+
+
+def scan_job_errors(jobs_dir: str) -> List[Dict]:
+    """All error records under a jobs directory (offline fleet view)."""
+    records: List[Dict] = []
+    try:
+        entries = sorted(os.listdir(jobs_dir))
+    except OSError:
+        return records
+    for entry in entries:
+        job_dir = os.path.join(jobs_dir, entry)
+        if not os.path.isdir(job_dir):
+            continue
+        record = job_dir_error_record(job_dir)
+        if record is not None:
+            record.setdefault("job_id", entry)
+            records.append(record)
+    return records
+
+
+def cluster_errors(records: Iterable[Dict], limit: int = 10) -> List[Dict]:
+    """Group error records by fingerprint; top-``limit`` by count.
+
+    Each cluster carries first/last seen timestamps, a sample message
+    (from the most recent record), and up to a few sample trace/job
+    ids -- enough to pivot from the fleet view into one job's bundle.
+    """
+    clusters: Dict[str, Dict] = {}
+    for record in records:
+        if not record:
+            continue
+        fingerprint = record.get("fingerprint") or "unknown"
+        ts = float(record.get("ts_unix") or 0.0)
+        cluster = clusters.get(fingerprint)
+        if cluster is None:
+            cluster = clusters[fingerprint] = {
+                "fingerprint": fingerprint,
+                "count": 0,
+                "kind": record.get("kind") or "crash",
+                "message": str(record.get("message") or ""),
+                "first_seen_unix": ts,
+                "last_seen_unix": ts,
+                "trace_ids": [],
+                "job_ids": [],
+            }
+        cluster["count"] += 1
+        if ts and (not cluster["first_seen_unix"] or ts < cluster["first_seen_unix"]):
+            cluster["first_seen_unix"] = ts
+        if ts >= cluster["last_seen_unix"]:
+            cluster["last_seen_unix"] = ts
+            cluster["message"] = str(record.get("message") or cluster["message"])
+            cluster["kind"] = record.get("kind") or cluster["kind"]
+        trace_id = record.get("trace_id")
+        if trace_id and trace_id not in cluster["trace_ids"] and len(cluster["trace_ids"]) < 3:
+            cluster["trace_ids"].append(trace_id)
+        job_id = record.get("job_id")
+        if job_id and job_id not in cluster["job_ids"] and len(cluster["job_ids"]) < 5:
+            cluster["job_ids"].append(job_id)
+    ranked = sorted(
+        clusters.values(),
+        key=lambda c: (-c["count"], -c["last_seen_unix"], c["fingerprint"]),
+    )
+    return ranked[: max(0, int(limit))] if limit else ranked
+
+
+def _fmt_ts(ts: float) -> str:
+    if not ts:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def render_error_clusters(body: Dict) -> str:
+    """Human table for an errors summary (live or saved scrape)."""
+    clusters = body.get("clusters") or []
+    lines = [
+        f"{len(clusters)} error cluster(s), "
+        f"{body.get('errors_total', sum(c.get('count', 0) for c in clusters))} "
+        f"failing record(s)"
+    ]
+    if body.get("hung_attempts"):
+        lines.append(f"watchdog-killed attempts in events log: {body['hung_attempts']}")
+    if not clusters:
+        lines.append("no errors recorded -- the fleet is clean")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(
+        f"{'FINGERPRINT':<18} {'COUNT':>5} {'KIND':<10} "
+        f"{'LAST SEEN':<19}  MESSAGE"
+    )
+    for cluster in clusters:
+        message = (cluster.get("message") or "").replace("\n", " ")
+        if len(message) > 60:
+            message = message[:57] + "..."
+        lines.append(
+            f"{cluster.get('fingerprint', '?'):<18} "
+            f"{cluster.get('count', 0):>5} "
+            f"{cluster.get('kind', '?'):<10} "
+            f"{_fmt_ts(cluster.get('last_seen_unix', 0)):<19}  {message}"
+        )
+        samples = []
+        if cluster.get("job_ids"):
+            samples.append("jobs: " + ", ".join(cluster["job_ids"]))
+        if cluster.get("trace_ids"):
+            samples.append("traces: " + ", ".join(cluster["trace_ids"]))
+        if samples:
+            lines.append(" " * 4 + "; ".join(samples))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# postmortem rendering (``repro postmortem``)
+# ---------------------------------------------------------------------------
+
+
+def load_bundle(path: str) -> Dict:
+    """Load a crash bundle for rendering.
+
+    ``path`` may be a job/run directory (containing ``crash/``), the
+    ``crash/`` directory itself, or a bare journal file (yielding a
+    tail-only pseudo-bundle when no bundle was ever written).
+    Raises ``ValueError``/``OSError`` with a readable message when
+    there is nothing forensic at the path.
+    """
+    path = os.path.abspath(path)
+    if os.path.isfile(path):
+        try:
+            events = load_journal(path, validate=False, skip_unknown=True)
+        except ValueError as exc:
+            raise ValueError(f"{path}: not a journal file ({exc})") from exc
+        return {
+            "source": path,
+            "crash": None,
+            "stacks": None,
+            "stacks_signal": None,
+            "traceback": None,
+            "tail": events[-DEFAULT_CAPACITY:],
+            "progress": None,
+            "telemetry": None,
+        }
+    if not os.path.isdir(path):
+        raise ValueError(f"{path}: no such file or directory")
+    bundle_dir = path
+    if not os.path.isfile(os.path.join(bundle_dir, "crash.json")):
+        bundle_dir = os.path.join(path, BUNDLE_DIRNAME)
+        if not os.path.isfile(os.path.join(bundle_dir, "crash.json")):
+            raise ValueError(
+                f"{path}: no crash bundle (expected crash/crash.json; "
+                f"did the job actually fail?)"
+            )
+    with open(os.path.join(bundle_dir, "crash.json"), "r", encoding="utf-8") as fh:
+        crash = json.load(fh)
+    tail: List[Dict] = []
+    tail_path = os.path.join(bundle_dir, "journal_tail.jsonl")
+    if os.path.isfile(tail_path):
+        with open(tail_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    tail.append(json.loads(line))
+                except ValueError:
+                    continue  # torn tail line
+    progress = _load_json_if_exists(os.path.join(bundle_dir, "progress.json"))
+    telemetry = _load_json_if_exists(os.path.join(bundle_dir, "telemetry.json"))
+    return {
+        "source": bundle_dir,
+        "crash": crash,
+        "stacks": _read_if_exists(os.path.join(bundle_dir, STACKS_FILENAME)),
+        "stacks_signal": _read_if_exists(os.path.join(bundle_dir, "stacks_signal.txt")),
+        "traceback": _read_if_exists(os.path.join(bundle_dir, "traceback.txt")),
+        "tail": tail,
+        "progress": progress,
+        "telemetry": telemetry,
+    }
+
+
+def _load_json_if_exists(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return data if isinstance(data, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def _compact_event(event: Dict) -> str:
+    kind = event.get("event", "?")
+    detail = []
+    for key in ("index", "iteration", "fault", "area_after", "rs", "reason",
+                "replayed", "rss_bytes", "circuit"):
+        if key in event:
+            value = event[key]
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            detail.append(f"{key}={value}")
+    return f"  {kind:<12} " + "  ".join(str(d) for d in detail)
+
+
+def render_postmortem(bundle: Dict) -> str:
+    """The human crash report ``repro postmortem`` prints."""
+    lines: List[str] = [f"== repro postmortem: {bundle['source']} =="]
+    crash = bundle.get("crash")
+    if crash:
+        lines.append(
+            f"kind: {crash.get('kind', '?')}    "
+            f"fingerprint: {crash.get('fingerprint', '?')}"
+        )
+        when = _fmt_ts(float(crash.get("ts_unix") or 0.0))
+        pid = crash.get("pid")
+        lines.append(f"when: {when}" + (f"    pid: {pid}" if pid else ""))
+        if crash.get("trace_id"):
+            lines.append(f"trace_id: {crash['trace_id']}")
+        if crash.get("note"):
+            lines.append(f"note: {crash['note']}")
+        error = crash.get("error")
+        if error:
+            lines.append(f"error: {error.get('type', '?')}: {error.get('message', '')}")
+    else:
+        lines.append("no crash bundle -- journal tail only")
+    progress = bundle.get("progress")
+    if progress:
+        lines.append("")
+        lines.append("-- last progress snapshot --")
+        for key in ("status", "circuit", "iteration", "faults_committed",
+                    "area", "rs", "eta_s"):
+            if key in progress:
+                lines.append(f"  {key}: {progress[key]}")
+    tail = bundle.get("tail") or []
+    lines.append("")
+    lines.append(f"-- journal tail ({len(tail)} event(s)) --")
+    for event in tail:
+        lines.append(_compact_event(event))
+    if not tail:
+        lines.append("  (empty)")
+    traceback_text = bundle.get("traceback")
+    if traceback_text:
+        lines.append("")
+        lines.append("-- traceback --")
+        lines.append(traceback_text.rstrip("\n"))
+    stacks = bundle.get("stacks")
+    if stacks:
+        lines.append("")
+        lines.append("-- stack dump (all threads) --")
+        lines.append(stacks.rstrip("\n"))
+    stacks_signal = bundle.get("stacks_signal")
+    if stacks_signal:
+        lines.append("")
+        lines.append("-- stack dump at watchdog signal --")
+        lines.append(stacks_signal.rstrip("\n"))
+    return "\n".join(lines)

@@ -7,9 +7,11 @@ content-addressed result cache.  ``repro submit`` / ``repro jobs``
 drive it through :class:`~repro.service.client.ServiceClient`.
 
 See DESIGN.md §13 for the architecture (cache keying, crash-resume
-semantics, API versioning and the error-code table) and §14 for the
+semantics, API versioning and the error-code table), §14 for the
 observability surface (correlation ids, structured service logs, SLO
-latency histograms, the event stream and the per-job Chrome trace).
+latency histograms, the event stream and the per-job Chrome trace) and
+§15 for failure forensics (the worker pool's hang watchdog, crash
+bundles, and the ``/v1/errors`` fingerprint clusters).
 """
 
 from .cache import ResultCache, cache_key
@@ -19,11 +21,13 @@ from .jobs import (
     TERMINAL_STATES,
     Job,
     JobStore,
+    job_activity_paths,
     job_chrome_trace,
+    job_error_record,
     job_journal_events,
 )
 from .server import SimplifyService, create_server, serve, serve_in_thread
-from .slog import ServiceLog
+from .slog import ServiceLog, log_segments, read_log_records
 from .workers import WorkerPool
 
 __all__ = [
@@ -38,8 +42,12 @@ __all__ = [
     "WorkerPool",
     "cache_key",
     "create_server",
+    "job_activity_paths",
     "job_chrome_trace",
+    "job_error_record",
     "job_journal_events",
+    "log_segments",
+    "read_log_records",
     "serve",
     "serve_in_thread",
 ]

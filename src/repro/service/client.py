@@ -17,13 +17,19 @@ server's long-poll event feed (``GET /v1/jobs/<id>/events``) and
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from ..core.api import SimplifyOutcome, SimplifyRequest
-from ..core.errors import ReproError, ServiceUnavailableError, error_from_body
+from ..core.errors import (
+    ClientTimeoutError,
+    ReproError,
+    ServiceUnavailableError,
+    error_from_body,
+)
 
 __all__ = ["ServiceClient"]
 
@@ -64,10 +70,9 @@ class ServiceClient:
         req = urllib.request.Request(
             url, data=data, method=method, headers=all_headers
         )
+        effective_timeout = self.timeout if timeout is None else timeout
         try:
-            with urllib.request.urlopen(
-                req, timeout=self.timeout if timeout is None else timeout
-            ) as resp:
+            with urllib.request.urlopen(req, timeout=effective_timeout) as resp:
                 text = resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             body = exc.read().decode("utf-8", errors="replace")
@@ -78,24 +83,56 @@ class ServiceClient:
                     f"{method} {path} failed with HTTP {exc.code}: {body[:200]}"
                 ) from None
         except urllib.error.URLError as exc:
+            # A connect-phase timeout arrives wrapped in URLError.
+            if isinstance(exc.reason, (TimeoutError, socket.timeout)):
+                raise ClientTimeoutError(
+                    f"{method} {path} timed out after {effective_timeout:g}s"
+                ) from None
             raise ServiceUnavailableError(
                 f"cannot reach {self.base_url}: {exc.reason}"
             ) from None
-        return json.loads(text) if parse else text
+        except (TimeoutError, socket.timeout):
+            # A read-phase timeout is raised bare by http.client.
+            raise ClientTimeoutError(
+                f"{method} {path} timed out after {effective_timeout:g}s"
+            ) from None
+        if not parse:
+            return text
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{method} {path}: server returned malformed JSON: {exc}"
+            ) from None
 
     # -- API ---------------------------------------------------------------
-    def healthz(self) -> Dict:
-        return self._call("GET", "/v1/healthz")
+    # Every method takes an optional per-request ``timeout`` (seconds)
+    # overriding the client-wide default; an expired deadline raises
+    # the typed :class:`~repro.core.errors.ClientTimeoutError` (code
+    # ``client_timeout``), never a raw ``socket.timeout``.
+    def healthz(self, timeout: Optional[float] = None) -> Dict:
+        return self._call("GET", "/v1/healthz", timeout=timeout)
 
-    def metrics(self) -> str:
+    def metrics(self, timeout: Optional[float] = None) -> str:
         """The raw OpenMetrics exposition text."""
-        return self._call("GET", "/v1/metrics", parse=False)
+        return self._call("GET", "/v1/metrics", parse=False, timeout=timeout)
 
-    def upload_netlist(self, bench_text: str) -> str:
+    def errors(
+        self, limit: int = 10, timeout: Optional[float] = None
+    ) -> Dict:
+        """Fleet error clusters (``GET /v1/errors``): top-``limit``
+        fingerprint groups with first/last seen and sample ids."""
+        return self._call(
+            "GET", f"/v1/errors?limit={int(limit)}", timeout=timeout
+        )
+
+    def upload_netlist(
+        self, bench_text: str, timeout: Optional[float] = None
+    ) -> str:
         """Store a netlist server-side; returns its sha256 handle."""
-        return self._call("POST", "/v1/netlists", {"netlist": bench_text})[
-            "netlist_sha256"
-        ]
+        return self._call(
+            "POST", "/v1/netlists", {"netlist": bench_text}, timeout=timeout
+        )["netlist_sha256"]
 
     def submit(
         self,
@@ -104,6 +141,7 @@ class ServiceClient:
         netlist_sha256: Optional[str] = None,
         name: Optional[str] = None,
         trace_id: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Dict:
         """Submit one job; returns the server's job snapshot.
 
@@ -122,24 +160,28 @@ class ServiceClient:
             payload["name"] = name
         trace_id = trace_id or self.trace_id
         headers = {"X-Repro-Trace-Id": trace_id} if trace_id else None
-        return self._call("POST", "/v1/jobs", payload, headers=headers)
+        return self._call(
+            "POST", "/v1/jobs", payload, headers=headers, timeout=timeout
+        )
 
-    def jobs(self) -> List[Dict]:
-        return self._call("GET", "/v1/jobs")["jobs"]
+    def jobs(self, timeout: Optional[float] = None) -> List[Dict]:
+        return self._call("GET", "/v1/jobs", timeout=timeout)["jobs"]
 
-    def status(self, job_id: str) -> Dict:
-        return self._call("GET", f"/v1/jobs/{job_id}")
+    def status(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        return self._call("GET", f"/v1/jobs/{job_id}", timeout=timeout)
 
-    def result_json(self, job_id: str) -> str:
+    def result_json(self, job_id: str, timeout: Optional[float] = None) -> str:
         """The stored outcome document, verbatim."""
-        return self._call("GET", f"/v1/jobs/{job_id}/result", parse=False)
+        return self._call(
+            "GET", f"/v1/jobs/{job_id}/result", parse=False, timeout=timeout
+        )
 
     def result(self, job_id: str) -> SimplifyOutcome:
         """The job's :class:`SimplifyOutcome`, rehydrated."""
         return SimplifyOutcome.from_json(self.result_json(job_id))
 
-    def cancel(self, job_id: str) -> Dict:
-        return self._call("DELETE", f"/v1/jobs/{job_id}")
+    def cancel(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        return self._call("DELETE", f"/v1/jobs/{job_id}", timeout=timeout)
 
     def events(self, job_id: str, offset: int = 0, wait: float = 10.0) -> Dict:
         """One long-poll of the job's event feed past ``offset``.

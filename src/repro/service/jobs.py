@@ -49,7 +49,9 @@ __all__ = [
     "JobStore",
     "ACTIVE_STATES",
     "TERMINAL_STATES",
+    "job_activity_paths",
     "job_chrome_trace",
+    "job_error_record",
     "job_journal_events",
 ]
 
@@ -119,6 +121,11 @@ class Job:
     @property
     def error_path(self) -> str:
         return os.path.join(self.dir, "error.json")
+
+    @property
+    def crash_dir(self) -> str:
+        """The job's crash-bundle directory (``repro.obs.flight``)."""
+        return os.path.join(self.dir, "crash")
 
     # views --------------------------------------------------------------
     def progress(self) -> Optional[Dict]:
@@ -409,6 +416,42 @@ class JobStore:
 #: yields the job's event timeline, and an event *index* into the
 #: concatenation is a stable streaming cursor.
 _JOURNAL_SUFFIXES = ("", ".area_per_rs", ".area")
+
+
+def job_activity_paths(job: Job) -> List[str]:
+    """Files whose mtime advance proves the runner is making progress.
+
+    The hang watchdog's liveness signal: the journal(s), checkpoint(s)
+    and progress heartbeat all advance once per committed event, so a
+    deadline with none of them moving means the child is wedged, not
+    slow.  Paths that don't exist yet are included (callers skip them).
+    """
+    paths: List[str] = []
+    for suffix in _JOURNAL_SUFFIXES:
+        paths.append(job.journal_path + suffix)
+        paths.append(job.checkpoint_path + suffix)
+    paths.append(job.progress_path)
+    return paths
+
+
+def job_error_record(job: Job) -> Optional[Dict]:
+    """The job's error-fingerprint record, or ``None`` when healthy.
+
+    Path-level extraction lives in
+    :func:`repro.obs.flight.job_dir_error_record`; this wrapper adds
+    the identity the store holds in memory (job id, state, the
+    submit-time trace id when the bundle predates one).
+    """
+    from ..obs.flight import job_dir_error_record
+
+    record = job_dir_error_record(job.dir)
+    if record is None:
+        return None
+    if not record.get("trace_id") and job.trace_id:
+        record["trace_id"] = job.trace_id
+    record["job_id"] = job.id
+    record["state"] = job.state
+    return record
 
 
 def job_journal_events(job: Job) -> List[Dict]:

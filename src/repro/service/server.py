@@ -82,6 +82,7 @@ from ..core.errors import (
     error_from_body,
 )
 from ..obs.core import Instrumentation
+from ..obs.flight import cluster_errors
 from ..obs.metrics_export import render_openmetrics
 from .cache import ResultCache, cache_key
 from .jobs import (
@@ -90,6 +91,7 @@ from .jobs import (
     Job,
     JobStore,
     job_chrome_trace,
+    job_error_record,
     job_journal_events,
 )
 from .runner import _bench_name
@@ -129,10 +131,17 @@ class SimplifyService:
         queue_limit: int = 64,
         max_attempts: int = 3,
         obs: Optional[Instrumentation] = None,
+        hang_timeout_s: Optional[float] = None,
+        log_max_bytes: Optional[int] = None,
+        log_keep: int = 3,
     ) -> None:
         self.data_dir = os.path.abspath(data_dir)
         self.obs = obs if obs is not None else Instrumentation()
-        self.log = ServiceLog(os.path.join(self.data_dir, "logs"))
+        self.log = ServiceLog(
+            os.path.join(self.data_dir, "logs"),
+            max_bytes=log_max_bytes,
+            keep=log_keep,
+        )
         self.store = JobStore(
             self.data_dir,
             queue_limit=queue_limit,
@@ -149,6 +158,7 @@ class SimplifyService:
             workers=workers,
             obs=self.obs,
             on_attempt=self._on_attempt,
+            hang_timeout_s=hang_timeout_s,
         )
         self.started_unix = time.time()
 
@@ -375,6 +385,28 @@ class SimplifyService:
             info={"service": "repro-simplify", "version": __version__},
         )
 
+    def errors_summary(self, limit: int = 10) -> Dict:
+        """Fleet-wide error clusters (``GET /v1/errors``).
+
+        Scans every known job for a crash bundle or typed error.json,
+        groups by fingerprint (:mod:`repro.obs.flight`) and returns the
+        top-``limit`` clusters with first/last seen and sample
+        trace/job ids.  Bundles from since-recovered jobs count too: a
+        hang that resumed successfully is still an incident.
+        """
+        jobs = self.store.list()
+        records = []
+        for job in jobs:
+            record = job_error_record(job)
+            if record is not None:
+                records.append(record)
+        return {
+            "clusters": cluster_errors(records, limit=limit),
+            "errors_total": len(records),
+            "jobs_scanned": len(jobs),
+            "generated_unix": time.time(),
+        }
+
     def health(self) -> Dict:
         return {
             "status": "ok",
@@ -530,6 +562,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, svc.health())
         elif path == "/v1/metrics":
             self._send(200, svc.metrics_text(), content_type=_OPENMETRICS)
+        elif path == "/v1/errors":
+            params = self._query_params(query)
+            try:
+                limit = int(params.get("limit") or 10)
+            except ValueError as exc:
+                raise InvalidRequestError(f"limit must be an integer: {exc}") from exc
+            self._send_json(200, svc.errors_summary(limit=limit))
         elif path == "/v1/jobs":
             self._send_json(
                 200, {"jobs": [j.snapshot() for j in svc.store.list()]}
@@ -601,6 +640,9 @@ def create_server(
     queue_limit: int = 64,
     max_attempts: int = 3,
     obs: Optional[Instrumentation] = None,
+    hang_timeout_s: Optional[float] = None,
+    log_max_bytes: Optional[int] = None,
+    log_keep: int = 3,
 ) -> Tuple[ThreadingHTTPServer, SimplifyService]:
     """Build a bound (not yet serving) server + its started service.
 
@@ -615,6 +657,9 @@ def create_server(
         queue_limit=queue_limit,
         max_attempts=max_attempts,
         obs=obs,
+        hang_timeout_s=hang_timeout_s,
+        log_max_bytes=log_max_bytes,
+        log_keep=log_keep,
     )
     httpd = ThreadingHTTPServer((host, port), _Handler)
     httpd.daemon_threads = True
@@ -630,6 +675,9 @@ def serve(
     workers: int = 2,
     queue_limit: int = 64,
     max_attempts: int = 3,
+    hang_timeout_s: Optional[float] = None,
+    log_max_bytes: Optional[int] = None,
+    log_keep: int = 3,
 ) -> None:
     """Run the job server until interrupted (the ``repro serve`` body)."""
     httpd, service = create_server(
@@ -639,6 +687,9 @@ def serve(
         workers=workers,
         queue_limit=queue_limit,
         max_attempts=max_attempts,
+        hang_timeout_s=hang_timeout_s,
+        log_max_bytes=log_max_bytes,
+        log_keep=log_keep,
     )
     bound = httpd.server_address
     logger.info(

@@ -16,16 +16,30 @@ the runner left behind (see :mod:`repro.service.runner`):
 Cancellation is cooperative-at-the-supervisor: the server flips
 ``cancel_requested`` and the watching thread terminates the child.
 
+Hang watchdog (``hang_timeout_s``): a wedged child looks exactly like
+a slow one from ``poll()``, so liveness is judged by *artifact
+advance*: if none of the job's journal/checkpoint/progress files gains
+an mtime within the deadline, the supervisor sends ``SIGUSR1`` (the
+runner's ``faulthandler`` answers with an all-thread stack dump into
+``stacks.txt`` -- C-level, fires even when the GIL is wedged), waits a
+grace period for the dump to land, then SIGKILLs and re-queues.  The
+evidence is packaged as a ``crash/`` bundle
+(:func:`repro.obs.flight.package_bundle`) fingerprinted by the stack
+dump's normalized shape, so identical wedge points cluster at
+``GET /v1/errors``.
+
 Service counters recorded into the shared registry:
 ``service.jobs_completed`` / ``jobs_failed`` / ``jobs_cancelled`` /
-``jobs_resumed`` / ``cache_stores`` (plus the server-side
-``jobs_submitted`` / ``cache_hits`` / ``jobs_deduplicated``).
+``jobs_resumed`` / ``jobs_hung`` / ``cache_stores`` (plus the
+server-side ``jobs_submitted`` / ``cache_hits`` /
+``jobs_deduplicated``).
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import signal
 import subprocess
 import sys
 import threading
@@ -36,23 +50,54 @@ from typing import Callable, Dict
 
 from ..core.errors import BudgetExhaustedError, JobCancelledError, error_body
 from ..obs.core import NULL, Instrumentation
+from ..obs.flight import (
+    STACKS_FILENAME,
+    fingerprint_key,
+    fingerprint_text,
+    package_bundle,
+)
 from .cache import ResultCache
-from .jobs import Job, JobStore
+from .jobs import Job, JobStore, job_activity_paths, job_journal_events
 
 __all__ = ["WorkerPool"]
 
 logger = logging.getLogger("repro.service.workers")
 
 _POLL_S = 0.05
+#: After SIGUSR1, how long the hung child gets to flush its stack dump
+#: before SIGKILL (it stays wedged -- this wait is for the dump, not
+#: for a graceful exit).
+_DUMP_GRACE_S = 1.0
+#: Crash-bundle journal tail length (matches the in-process ring).
+_TAIL_EVENTS = 64
 
 
-def _runner_env() -> dict:
-    """Child env with this repro importable regardless of install mode."""
+def _runner_env(stall_s: Optional[float] = None) -> dict:
+    """Child env with this repro importable regardless of install mode.
+
+    ``stall_s`` arms the runner's *in-process* stall watchdog (see
+    ``repro.service.runner``) so a wedged child saves a rich bundle
+    itself before the supervisor's coarser deadline kills it.  An
+    explicit ``REPRO_FLIGHT_STALL_S`` in the environment wins.
+    """
     env = dict(os.environ)
     pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = pkg_root if not existing else os.pathsep.join([pkg_root, existing])
+    if stall_s and "REPRO_FLIGHT_STALL_S" not in env:
+        env["REPRO_FLIGHT_STALL_S"] = f"{stall_s:g}"
     return env
+
+
+def _latest_mtime(job: Job) -> float:
+    """Newest mtime across the job's liveness files (0.0 = none yet)."""
+    latest = 0.0
+    for path in job_activity_paths(job):
+        try:
+            latest = max(latest, os.path.getmtime(path))
+        except OSError:
+            continue
+    return latest
 
 
 class WorkerPool:
@@ -65,9 +110,12 @@ class WorkerPool:
         workers: int = 2,
         obs: Optional[Instrumentation] = None,
         on_attempt: Optional[Callable[[Job, Dict], None]] = None,
+        hang_timeout_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            hang_timeout_s = None
         self.store = store
         self.cache = cache
         self.workers = workers
@@ -76,6 +124,11 @@ class WorkerPool:
         #: ``(job, record)``; the record is also appended to
         #: ``job.attempt_history`` (the ``/trace`` endpoint's source).
         self.on_attempt = on_attempt
+        #: Hang watchdog deadline: kill an attempt whose journal/
+        #: checkpoint/progress files all stop advancing for this long.
+        #: ``None`` disables the watchdog (safe for workloads whose
+        #: single iterations legitimately outlast any fixed deadline).
+        self.hang_timeout_s = hang_timeout_s
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -121,14 +174,18 @@ class WorkerPool:
             self.obs.incr("service.jobs_resumed")
             logger.info("resuming %s (attempt %d)", job.id, job.attempts)
         started_unix = time.time()
+        stall_s = self.hang_timeout_s / 2 if self.hang_timeout_s else None
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.service.runner", job.dir],
-            env=_runner_env(),
+            env=_runner_env(stall_s),
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
         )
         job.worker_pid = proc.pid
         cancelled = False
+        hung = False
+        last_mtime = 0.0
+        last_advance = time.monotonic()
         while True:
             if proc.poll() is not None:
                 break
@@ -141,8 +198,20 @@ class WorkerPool:
                     proc.kill()
                     proc.wait()
                 break
+            if self.hang_timeout_s is not None:
+                mtime = _latest_mtime(job)
+                if mtime > last_mtime:
+                    last_mtime = mtime
+                    last_advance = time.monotonic()
+                elif time.monotonic() - last_advance >= self.hang_timeout_s:
+                    hung = True
+                    self._dump_and_kill(proc)
+                    break
             time.sleep(_POLL_S)
 
+        if hung:
+            self._handle_hang(job, started_unix)
+            return
         if cancelled:
             self._record_attempt(job, started_unix, "cancelled")
             self.store.finish(
@@ -179,6 +248,7 @@ class WorkerPool:
 
         # No artifact: the child died mid-run.  Re-queue for a resumed
         # attempt, or fail when the retry budget is spent.
+        self._ensure_crash_bundle(job, proc.returncode)
         self._record_attempt(job, started_unix, "crashed")
         if self.store.requeue(job):
             logger.warning(
@@ -197,6 +267,120 @@ class WorkerPool:
             ),
         )
         self.obs.incr("service.jobs_failed")
+
+    # -- hang watchdog / forensics -------------------------------------
+    def _dump_and_kill(self, proc: subprocess.Popen) -> None:
+        """SIGUSR1 for a stack dump, a short grace, then SIGKILL."""
+        sig = getattr(signal, "SIGUSR1", None)
+        if sig is not None:
+            try:
+                proc.send_signal(sig)
+            except (OSError, ValueError):
+                pass  # the child won the race and exited
+            try:
+                proc.wait(timeout=_DUMP_GRACE_S)
+            except subprocess.TimeoutExpired:
+                pass  # expected: the child is wedged, only the dump ran
+        proc.kill()
+        proc.wait()
+
+    def _handle_hang(self, job: Job, started_unix: float) -> None:
+        """Package the evidence, then requeue within the retry budget."""
+        self.obs.incr("service.jobs_hung")
+        try:
+            self._package_hang_bundle(job)
+        except Exception:  # noqa: BLE001 - forensics must not kill workers
+            logger.exception("hang bundle packaging failed for %s", job.id)
+        self._record_attempt(job, started_unix, "hung")
+        if self.store.requeue(job):
+            logger.warning(
+                "%s hung (no activity for %gs); killed and re-queued for "
+                "resume (attempt %d)",
+                job.id,
+                self.hang_timeout_s,
+                job.attempts,
+            )
+            return
+        self.store.finish(
+            job,
+            "failed",
+            error_body(
+                BudgetExhaustedError(
+                    f"hang watchdog killed attempt {job.attempts} and the "
+                    f"retry budget is spent"
+                )
+            ),
+        )
+        self.obs.incr("service.jobs_failed")
+
+    def _package_hang_bundle(self, job: Job) -> None:
+        stacks_text = None
+        stacks_path = os.path.join(job.dir, STACKS_FILENAME)
+        try:
+            with open(stacks_path, "r", encoding="utf-8") as fh:
+                stacks_text = fh.read() or None
+        except OSError:
+            pass
+        try:
+            tail = job_journal_events(job)[-_TAIL_EVENTS:]
+        except Exception:  # noqa: BLE001 - a torn journal is no excuse
+            tail = []
+        if stacks_text:
+            # Identical wedge points dump identical (normalized)
+            # stacks, so hangs cluster by *where* they stuck.
+            fingerprint = fingerprint_text(stacks_text)
+        else:
+            fingerprint = fingerprint_key("hang", "no-stack-dump")
+        package_bundle(
+            job.dir,
+            "hung",
+            fingerprint=fingerprint,
+            tail_events=tail,
+            stacks_text=stacks_text,
+            trace_id=job.trace_id,
+            note=(
+                f"hang watchdog: no journal/checkpoint/progress advance "
+                f"for {self.hang_timeout_s:g}s; sent SIGUSR1 then SIGKILL "
+                f"(attempt {job.attempts})"
+            ),
+        )
+
+    def _ensure_crash_bundle(self, job: Job, returncode: Optional[int]) -> None:
+        """A bundle for a crash the child couldn't record itself.
+
+        A SIGKILLed/OOMed child runs no excepthook, so unless the
+        in-process recorder already published (its excepthook or stall
+        watchdog got there first), the supervisor packages what's on
+        disk, fingerprinted by the kill signal / exit code.
+        """
+        try:
+            if os.path.isdir(job.crash_dir):
+                return
+            if returncode is not None and returncode < 0:
+                try:
+                    cause = signal.Signals(-returncode).name
+                except ValueError:
+                    cause = str(-returncode)
+                fingerprint = fingerprint_key("signal", cause)
+                message = f"killed by signal {cause}"
+            else:
+                fingerprint = fingerprint_key("exit", str(returncode))
+                message = f"exited with code {returncode} and no outcome"
+            try:
+                tail = job_journal_events(job)[-_TAIL_EVENTS:]
+            except Exception:  # noqa: BLE001
+                tail = []
+            package_bundle(
+                job.dir,
+                "crashed",
+                fingerprint=fingerprint,
+                error={"type": "WorkerCrash", "message": message},
+                tail_events=tail,
+                trace_id=job.trace_id,
+                note=f"{message} (attempt {job.attempts})",
+            )
+        except Exception:  # noqa: BLE001 - forensics must not kill workers
+            logger.exception("crash bundle packaging failed for %s", job.id)
 
     def _record_attempt(self, job: Job, started_unix: float, outcome: str) -> None:
         """Append the attempt's timing record and fire the hook."""

@@ -6,6 +6,7 @@ from repro.core.errors import (
     ERROR_CODES,
     BudgetExhaustedError,
     CheckpointMismatchError,
+    ClientTimeoutError,
     CompileError,
     InvalidRequestError,
     JobCancelledError,
@@ -37,6 +38,7 @@ CONTRACT = {
     "job_cancelled": (JobCancelledError, 409),
     "job_failed": (JobFailedError, 500),
     "service_unavailable": (ServiceUnavailableError, 503),
+    "client_timeout": (ClientTimeoutError, 504),
 }
 
 

@@ -1,0 +1,342 @@
+"""Flight recorder, fingerprinting, and crash-bundle forensics.
+
+Unit layer of DESIGN.md §15: the ring buffer, the normalization
+contract that makes fingerprints stable across hosts and line-number
+churn, bundle writing/loading, the in-process stall watchdog, and the
+fleet aggregation helpers behind ``repro errors``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.flight import (
+    BUNDLE_DIRNAME,
+    FlightRecorder,
+    StallWatchdog,
+    cluster_errors,
+    fingerprint_key,
+    fingerprint_text,
+    job_dir_error_record,
+    load_bundle,
+    normalize_traceback,
+    package_bundle,
+    render_error_clusters,
+    render_postmortem,
+    scan_job_errors,
+)
+
+TB_A = '''Traceback (most recent call last):
+  File "/home/alice/checkout/src/repro/simplify/greedy.py", line 412, in _run
+    candidate = pick(ranked[0])
+  File "/home/alice/checkout/src/repro/simplify/rank.py", line 88, in pick
+    return table[key]
+KeyError: 140234
+'''
+
+# The "same" failure from another host: different checkout path,
+# different line numbers, different id in the message.
+TB_A2 = '''Traceback (most recent call last):
+  File "C:\\ci\\build\\repro\\simplify\\greedy.py", line 399, in _run
+    candidate = pick(ranked[0])
+  File "C:\\ci\\build\\repro\\simplify\\rank.py", line 91, in pick
+    return table[key]
+KeyError: 998001
+'''
+
+TB_B = '''Traceback (most recent call last):
+  File "/home/alice/checkout/src/repro/simplify/greedy.py", line 412, in _run
+    candidate = pick(ranked[0])
+ValueError: no candidates at 0x7f3a2b001c20
+'''
+
+
+# ---------------------------------------------------------------------------
+# normalization + fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_normalize_drops_lines_paths_and_ids():
+    norm = normalize_traceback(TB_A)
+    assert "greedy:_run > rank:pick" in norm
+    assert "412" not in norm and "/home/alice" not in norm
+    assert "KeyError: #" in norm
+
+
+def test_fingerprint_stable_across_hosts_and_line_churn():
+    assert fingerprint_text(TB_A) == fingerprint_text(TB_A2)
+
+
+def test_fingerprint_distinguishes_failure_modes():
+    assert fingerprint_text(TB_A) != fingerprint_text(TB_B)
+
+
+def test_normalize_handles_faulthandler_format():
+    # faulthandler frames have no comma before "in" and no source line
+    dump = (
+        "Thread 0x00007f3a2b001c20 (most recent call first):\n"
+        '  File "/x/y/runner.py", line 88 in main\n'
+    )
+    norm = normalize_traceback(dump)
+    assert "runner:main" in norm
+    assert "0xADDR" in norm
+
+
+def test_fingerprint_key_keeps_numeric_causes_apart():
+    # text fingerprints collapse digit runs; synthetic supervisor causes
+    # (exit codes, signal numbers) must NOT cluster together
+    assert fingerprint_key("exit", "1") != fingerprint_key("exit", "2")
+    assert fingerprint_key("signal", "SIGKILL") != fingerprint_key(
+        "signal", "SIGSEGV"
+    )
+    assert fingerprint_key("exit", "1") == fingerprint_key("exit", "1")
+
+
+# ---------------------------------------------------------------------------
+# the recorder + bundles
+# ---------------------------------------------------------------------------
+
+
+def _armed_recorder(tmp_path, capacity=8):
+    rec = FlightRecorder(capacity=capacity, trace_id="trace-xyz")
+    rec.install(
+        bundle_dir=str(tmp_path / BUNDLE_DIRNAME),
+        stacks_path=str(tmp_path / "stacks.txt"),
+        progress_path=str(tmp_path / "progress.json"),
+        excepthook=False,  # keep sys.excepthook pristine under pytest
+    )
+    return rec
+
+
+def test_ring_keeps_only_the_tail(tmp_path):
+    rec = _armed_recorder(tmp_path, capacity=4)
+    try:
+        for i in range(10):
+            rec.emit({"event": "iteration", "index": i})
+        assert rec.events_seen == 10
+        tail = rec.tail()
+        assert [e["index"] for e in tail] == [6, 7, 8, 9]
+    finally:
+        rec.uninstall()
+
+
+def test_write_bundle_contents_and_atomic_overwrite(tmp_path):
+    rec = _armed_recorder(tmp_path)
+    try:
+        rec.emit({"event": "iteration", "index": 0, "area_after": 412.5})
+        (tmp_path / "progress.json").write_text('{"status": "running"}\n')
+        try:
+            raise KeyError(140234)
+        except KeyError:
+            import sys
+
+            bundle = rec.write_bundle("crash", exc_info=sys.exc_info())
+
+        crash = json.loads(
+            (tmp_path / BUNDLE_DIRNAME / "crash.json").read_text()
+        )
+        assert crash["kind"] == "crash"
+        assert crash["trace_id"] == "trace-xyz"
+        assert crash["error"]["type"] == "KeyError"
+        assert len(crash["fingerprint"]) == 16
+        assert "KeyError" in (tmp_path / BUNDLE_DIRNAME / "traceback.txt").read_text()
+        assert (tmp_path / BUNDLE_DIRNAME / "stacks.txt").read_text()
+        tail_lines = (
+            (tmp_path / BUNDLE_DIRNAME / "journal_tail.jsonl")
+            .read_text()
+            .splitlines()
+        )
+        assert json.loads(tail_lines[0])["index"] == 0
+        assert json.loads(
+            (tmp_path / BUNDLE_DIRNAME / "progress.json").read_text()
+        ) == {"status": "running"}
+
+        # A later flush atomically replaces the whole bundle -- no
+        # leftovers from the first one, no temp staging dirs.
+        rec.write_bundle("stall", note="second flush")
+        crash2 = json.loads(
+            (tmp_path / BUNDLE_DIRNAME / "crash.json").read_text()
+        )
+        assert crash2["kind"] == "stall"
+        assert not (tmp_path / BUNDLE_DIRNAME / "traceback.txt").exists()
+        assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        assert bundle == str(tmp_path / BUNDLE_DIRNAME)
+    finally:
+        rec.uninstall()
+
+
+def test_write_bundle_requires_install(tmp_path):
+    with pytest.raises(ValueError):
+        FlightRecorder().write_bundle("crash")
+
+
+def test_stall_watchdog_fires_once_then_rearms(tmp_path):
+    rec = _armed_recorder(tmp_path)
+    fired = []
+    dog = StallWatchdog(
+        rec, deadline_s=0.3, poll_s=0.05, on_stall=fired.append
+    )
+    dog.start()
+    try:
+        deadline = time.time() + 5.0
+        while not fired and time.time() < deadline:
+            time.sleep(0.05)
+        assert len(fired) == 1, "stall bundle never fired"
+        crash = json.loads(
+            (tmp_path / BUNDLE_DIRNAME / "crash.json").read_text()
+        )
+        assert crash["kind"] == "stall"
+        assert "no journal events" in crash["note"]
+
+        # still stalled: must NOT refire
+        time.sleep(0.6)
+        assert len(fired) == 1
+
+        # progress resumes -> re-arms -> a second stall fires again
+        rec.emit({"event": "iteration", "index": 1})
+        deadline = time.time() + 5.0
+        while len(fired) < 2 and time.time() < deadline:
+            time.sleep(0.05)
+        assert len(fired) == 2
+        assert dog.stalls == 2
+    finally:
+        dog.stop()
+        rec.uninstall()
+
+
+def test_stall_watchdog_rejects_bad_deadline(tmp_path):
+    with pytest.raises(ValueError):
+        StallWatchdog(FlightRecorder(), deadline_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# supervisor-side packaging + readers
+# ---------------------------------------------------------------------------
+
+
+def test_package_bundle_and_load_roundtrip(tmp_path):
+    job_dir = tmp_path / "job-000001"
+    job_dir.mkdir()
+    (job_dir / "stacks.txt").write_text(
+        'Thread 0x1 (most recent call first):\n  File "a.py", line 1 in f\n'
+    )
+    (job_dir / "progress.json").write_text('{"iteration": 3}\n')
+    path = package_bundle(
+        str(job_dir),
+        "hung",
+        fingerprint=fingerprint_key("hang", "demo"),
+        tail_events=[{"event": "iteration", "index": 3}],
+        trace_id="t-1",
+        note="watchdog demo",
+    )
+    assert path == str(job_dir / BUNDLE_DIRNAME)
+
+    # load via the job dir, the bundle dir, and render the report
+    for source in (str(job_dir), path):
+        bundle = load_bundle(source)
+        assert bundle["crash"]["kind"] == "hung"
+        assert bundle["crash"]["trace_id"] == "t-1"
+        assert bundle["tail"][0]["index"] == 3
+        assert "a.py" in bundle["stacks"]
+    report = render_postmortem(load_bundle(str(job_dir)))
+    assert "kind: hung" in report
+    assert "watchdog demo" in report
+    assert "iteration" in report
+    assert "stack dump" in report
+
+
+def test_load_bundle_on_bare_journal(tmp_path):
+    journal = tmp_path / "run.jsonl"
+    with open(journal, "w") as fh:
+        fh.write(json.dumps({"event": "run_start"}) + "\n")
+        fh.write(json.dumps({"event": "iteration", "index": 0}) + "\n")
+    bundle = load_bundle(str(journal))
+    assert bundle["crash"] is None
+    assert [e["event"] for e in bundle["tail"]] == ["run_start", "iteration"]
+    assert "journal tail" in render_postmortem(bundle)
+
+
+def test_load_bundle_errors_are_readable(tmp_path):
+    with pytest.raises(ValueError, match="no such file"):
+        load_bundle(str(tmp_path / "nope"))
+    empty = tmp_path / "empty-job"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no crash bundle"):
+        load_bundle(str(empty))
+
+
+def test_job_dir_error_record_sources(tmp_path):
+    # 1) crash bundle wins
+    a = tmp_path / "a"
+    (a / BUNDLE_DIRNAME).mkdir(parents=True)
+    (a / BUNDLE_DIRNAME / "crash.json").write_text(
+        json.dumps(
+            {
+                "kind": "crash",
+                "fingerprint": "abcd" * 4,
+                "error": {"type": "KeyError", "message": "boom"},
+                "ts_unix": 1000.0,
+                "trace_id": "t-a",
+            }
+        )
+    )
+    rec = job_dir_error_record(str(a))
+    assert rec["fingerprint"] == "abcd" * 4
+    assert rec["message"] == "boom"
+
+    # 2) typed error.json fallback
+    b = tmp_path / "b"
+    b.mkdir()
+    (b / "error.json").write_text(
+        json.dumps({"error": {"code": "compile_error", "message": "bad gate"}})
+    )
+    rec = job_dir_error_record(str(b))
+    assert rec["kind"] == "error"
+    assert rec["message"] == "compile_error: bad gate"
+
+    # 3) torn crash.json -> an `unreadable` record, not a traceback
+    c = tmp_path / "c"
+    (c / BUNDLE_DIRNAME).mkdir(parents=True)
+    (c / BUNDLE_DIRNAME / "crash.json").write_text('{"kind": "cra')
+    rec = job_dir_error_record(str(c))
+    assert rec["kind"] == "unreadable"
+
+    # 4) healthy job -> no record
+    d = tmp_path / "d"
+    d.mkdir()
+    (d / "outcome.json").write_text("{}")
+    assert job_dir_error_record(str(d)) is None
+
+    records = scan_job_errors(str(tmp_path))
+    assert {r["job_id"] for r in records} == {"a", "b", "c"}
+
+
+def test_cluster_errors_ranking_and_samples():
+    records = [
+        {"fingerprint": "f1", "kind": "crash", "message": "boom 1",
+         "ts_unix": 10.0, "trace_id": "t1", "job_id": "j1"},
+        {"fingerprint": "f1", "kind": "crash", "message": "boom 2",
+         "ts_unix": 30.0, "trace_id": "t2", "job_id": "j2"},
+        {"fingerprint": "f2", "kind": "hung", "message": "wedged",
+         "ts_unix": 20.0, "trace_id": "t3", "job_id": "j3"},
+    ]
+    clusters = cluster_errors(records)
+    assert [c["fingerprint"] for c in clusters] == ["f1", "f2"]
+    top = clusters[0]
+    assert top["count"] == 2
+    assert top["first_seen_unix"] == 10.0
+    assert top["last_seen_unix"] == 30.0
+    assert top["message"] == "boom 2"  # most recent wins
+    assert top["trace_ids"] == ["t1", "t2"]
+    assert top["job_ids"] == ["j1", "j2"]
+
+    assert len(cluster_errors(records, limit=1)) == 1
+
+    text = render_error_clusters(
+        {"clusters": clusters, "errors_total": 3, "hung_attempts": 1}
+    )
+    assert "f1" in text and "wedged" in text
+    assert "watchdog-killed attempts" in text
+    assert "clean" in render_error_clusters({"clusters": []})

@@ -1,0 +1,57 @@
+"""Per-request client deadlines raise the typed ``client_timeout``.
+
+A stuck server must never leak a raw ``socket.timeout`` out of
+:class:`ServiceClient`: callers get :class:`ClientTimeoutError`
+(code ``client_timeout``), the same taxonomy every other failure
+speaks.  The stand-in for a wedged server is a bound, listening
+socket whose backlog accepts the TCP handshake but whose owner never
+reads or answers -- the request then dies in the read phase.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.core.errors import ClientTimeoutError, ERROR_CODES
+from repro.service import ServiceClient
+
+
+@pytest.fixture()
+def black_hole():
+    """A listening socket that never accepts or answers."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    try:
+        yield f"http://127.0.0.1:{sock.getsockname()[1]}"
+    finally:
+        sock.close()
+
+
+def test_client_wide_timeout_is_typed(black_hole):
+    client = ServiceClient(black_hole, timeout=0.3)
+    started = time.monotonic()
+    with pytest.raises(ClientTimeoutError) as excinfo:
+        client.healthz()
+    assert time.monotonic() - started < 5.0
+    assert excinfo.value.code == "client_timeout"
+    assert "timed out after 0.3s" in str(excinfo.value)
+
+
+def test_per_request_timeout_overrides_client_default(black_hole):
+    client = ServiceClient(black_hole, timeout=600.0)
+    started = time.monotonic()
+    with pytest.raises(ClientTimeoutError):
+        client.jobs(timeout=0.3)
+    assert time.monotonic() - started < 5.0
+
+
+def test_client_timeout_is_registered_and_retryable_shape():
+    cls = ERROR_CODES["client_timeout"]
+    assert cls is ClientTimeoutError
+    assert cls.http_status == 504
+    # it stays catchable as the broader unavailability class
+    from repro.core.errors import ServiceUnavailableError
+
+    assert issubclass(ClientTimeoutError, ServiceUnavailableError)

@@ -1,0 +1,61 @@
+"""Size-based service-log rotation and the rotation-aware readers."""
+
+import json
+import os
+
+from repro.service.slog import ServiceLog, log_segments, read_log_records
+
+
+def test_rotation_caps_segments_and_keeps_history_in_order(tmp_path):
+    log = ServiceLog(str(tmp_path), max_bytes=200, keep=2)
+    try:
+        for i in range(60):
+            log.event("attempt", job_id=f"job-{i:06d}", outcome="done")
+    finally:
+        log.close()
+
+    events = os.path.join(str(tmp_path), "events.jsonl")
+    segments = log_segments(events)
+    # live file + exactly `keep` rotated segments; nothing beyond .2
+    assert segments == [f"{events}.2", f"{events}.1", events]
+    assert not os.path.exists(f"{events}.3")
+    for segment in segments:
+        assert os.path.getsize(segment) <= 200 + 120  # cap + one record
+
+    records = list(read_log_records(events))
+    ids = [int(r["job_id"].split("-")[1]) for r in records]
+    # oldest records fell off the end; what survives is contiguous,
+    # in write order, and ends with the last write
+    assert ids == list(range(ids[0], 60))
+    assert 0 < len(ids) < 60
+
+
+def test_unbounded_log_never_rotates(tmp_path):
+    log = ServiceLog(str(tmp_path))
+    try:
+        for i in range(50):
+            log.access("GET", "/v1/jobs", 200, 1.0)
+    finally:
+        log.close()
+    access = os.path.join(str(tmp_path), "access.jsonl")
+    assert log_segments(access) == [access]
+    assert len(list(read_log_records(access))) == 50
+
+
+def test_reader_skips_torn_and_corrupt_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"kind": "attempt", "outcome": "hung"}) + "\n")
+        fh.write("{\"kind\": \"attempt\", \"outco")  # torn mid-write
+    with open(f"{path}.1", "w") as fh:
+        fh.write("not json at all\n")
+        fh.write(json.dumps({"kind": "submitted"}) + "\n")
+        fh.write(json.dumps(["a", "list"]) + "\n")  # wrong shape
+
+    records = list(read_log_records(str(path)))
+    assert [r["kind"] for r in records] == ["submitted", "attempt"]
+
+
+def test_segments_of_missing_log_is_empty(tmp_path):
+    assert log_segments(str(tmp_path / "nope.jsonl")) == []
+    assert list(read_log_records(str(tmp_path / "nope.jsonl"))) == []
